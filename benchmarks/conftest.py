@@ -1,0 +1,47 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Each benchmark runs its figure's experiment once (``rounds=1``) — these are
+scientific reproductions, not micro-benchmarks — prints the same rows/series
+the paper charts, and asserts the paper's qualitative findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.experiments.figures import SMALL_SCALE
+from repro.experiments.reporting import save_result
+
+#: The default scale for all figure benches (seconds per run, shapes hold).
+BENCH_SCALE = SMALL_SCALE
+
+#: Reduced-duration scale for the sweep-heavy figures (5 and 6).
+SWEEP_SCALE = replace(
+    SMALL_SCALE,
+    request_rate_per_cache=50.0,
+    duration_minutes=60.0,
+    cycle_length=10.0,
+)
+
+
+#: Where rendered tables and JSON archives land (git-ignorable artifacts).
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+def show(rendered: str, archive_as: str | None = None) -> None:
+    """Print a figure table (under ``pytest -s``) and archive it to disk.
+
+    Every rendered table is also appended to ``artifacts/rendered.txt`` so a
+    benchmark run leaves a reviewable record even without ``-s``.
+    """
+    print()
+    print(rendered)
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    with open(ARTIFACT_DIR / "rendered.txt", "a", encoding="utf-8") as fh:
+        fh.write(rendered + "\n")
+
+
+def archive(result, name: str) -> None:
+    """Archive a result object as JSON under ``artifacts/<name>.json``."""
+    save_result(result, ARTIFACT_DIR / f"{name}.json", name=name)

@@ -1,0 +1,27 @@
+"""Ablation — the consistent-hashing baseline the paper argues against.
+
+§2.1's critique of consistent hashing: (a) beacon discovery costs up to
+O(log n) messages in a distributed successor structure, and (b) uniform URL
+distribution still load-imbalances under Zipf skew. This ablation measures
+both claims against static and dynamic hashing.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.ablations import ablation_consistent_hashing
+
+
+def test_ablation_consistent_hashing(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_consistent_hashing(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    benchmark.extra_info["consistent_cov"] = rows["consistent"][1]
+    benchmark.extra_info["dynamic_cov"] = rows["dynamic"][1]
+
+    # (a) Consistent hashing pays more control messages per lookup.
+    assert rows["consistent"][3] > rows["dynamic"][3]
+    # (b) Its load balance under skew is no better than static's class —
+    # and clearly worse than dynamic hashing.
+    assert rows["dynamic"][1] < rows["consistent"][1]

@@ -1,0 +1,28 @@
+"""Ablation — sub-range determination cycle length.
+
+The paper fixes the cycle at 1 hour. Shorter cycles adapt to drift faster
+(better balance on the drifting Sydney workload) but migrate directory
+entries more often — the control-plane cost of agility.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.ablations import ablation_cycle_length
+
+
+def test_ablation_cycle_length(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_cycle_length(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    cycles = result.column("cycle (min)")
+    migrated = result.column("directory entries migrated")
+    covs = result.column("CoV")
+    benchmark.extra_info["cov_fastest"] = covs[0]
+    benchmark.extra_info["cov_slowest"] = covs[-1]
+
+    # More cycles → more migration traffic (strictly, for distinct periods
+    # short enough to fire at least twice in the measured window).
+    assert migrated[0] >= migrated[-1]
+    # All configurations stay in a sane balance regime.
+    assert all(c < 1.0 for c in covs)

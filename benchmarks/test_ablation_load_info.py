@@ -1,0 +1,26 @@
+"""Ablation — per-IrH load counters (CIrHLd) vs the CAvgLoad approximation.
+
+The paper's Figure 2 walks one rebalance step under both regimes (410/390
+exact vs 440/360 approximated); this ablation measures the same trade-off
+over a full Zipf-0.9 workload. Expectation: exact information balances at
+least as well as the approximation, and both beat no rebalancing.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.ablations import ablation_load_information
+
+
+def test_ablation_load_info(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_load_information(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    covs = dict(zip(result.column("load info"), result.column("CoV")))
+    benchmark.extra_info["cov_exact"] = covs["CIrHLd (exact)"]
+    benchmark.extra_info["cov_approx"] = covs["CAvgLoad (approx)"]
+
+    # The approximation remains usable (paper: "not mandatory for the scheme
+    # to work effectively") — within 2x of exact, and both under 0.5 CoV.
+    assert covs["CIrHLd (exact)"] <= covs["CAvgLoad (approx)"] * 1.25
+    assert covs["CAvgLoad (approx)"] < 0.5

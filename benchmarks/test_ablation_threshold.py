@@ -1,0 +1,26 @@
+"""Ablation — sensitivity of the utility scheme to its store threshold.
+
+The paper fixes the threshold at 0.5 without a sensitivity study. Sweeping
+it shows the placement spectrum the threshold interpolates: at 0 the scheme
+approaches ad hoc (store everything), at 1 it approaches never-store.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.ablations import ablation_threshold
+
+
+def test_ablation_threshold(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_threshold(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    thresholds = result.column("threshold")
+    stored = result.column("docs stored/cache (%)")
+    benchmark.extra_info["stored_at_0.1"] = stored[0]
+    benchmark.extra_info["stored_at_0.9"] = stored[-1]
+
+    # Stored fraction decreases monotonically in the threshold.
+    assert all(a >= b - 0.5 for a, b in zip(stored, stored[1:]))
+    # The sweep actually spans a meaningful range.
+    assert stored[0] > stored[-1] + 10.0

@@ -1,0 +1,27 @@
+"""Extension — feedback adaptation of the utility weights.
+
+The paper's stated future work (§4.2): "continuously monitor various system
+parameters and use a feedback mechanism to adjust the weight parameters".
+This bench runs a workload whose update rate jumps 40x at half-time and
+compares fixed weights against the feedback controller.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.extensions import adaptive_weights_comparison
+
+
+def test_ext_adaptive_weights(benchmark):
+    result = benchmark.pedantic(
+        lambda: adaptive_weights_comparison(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    benchmark.extra_info["fixed_mb"] = result.fixed_mb
+    benchmark.extra_info["adaptive_mb"] = result.adaptive_mb
+    benchmark.extra_info["improvement_pct"] = result.improvement_percent
+
+    # The controller adapted (several steps) and never made things worse
+    # than a small tolerance; typically it reduces traffic.
+    assert result.steps >= 3
+    assert result.adaptive_mb <= result.fixed_mb * 1.05
+    assert abs(sum(result.final_weights.values()) - 1.0) < 1e-9

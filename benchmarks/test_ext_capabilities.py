@@ -1,0 +1,27 @@
+"""Extension — capability-proportional load shares.
+
+§2.3 defines each beacon point's fair share as ``Cp_i / ΣCp · TotLoad``;
+static hashing cannot honor heterogeneous hardware at all. This bench runs
+a cloud whose first five machines are 3x as capable and checks that dynamic
+hashing tracks capability where static hashing ignores it.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.extensions import capability_proportionality
+
+
+def test_ext_capabilities(benchmark):
+    result = benchmark.pedantic(
+        lambda: capability_proportionality(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    benchmark.extra_info["static_imbalance"] = result.static_imbalance
+    benchmark.extra_info["dynamic_imbalance"] = result.dynamic_imbalance
+
+    # Dynamic hashing respects capability much better than static.
+    assert result.dynamic_imbalance < result.static_imbalance * 0.8
+    # Strong machines actually carry more load under dynamic hashing.
+    strong = [result.dynamic_loads[c] for c in range(5)]
+    weak = [result.dynamic_loads[c] for c in range(5, 10)]
+    assert sum(strong) > 1.5 * sum(weak)

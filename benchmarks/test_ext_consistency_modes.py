@@ -1,0 +1,34 @@
+"""Extension — consistency modes: push (cache cloud) vs TTL vs leases.
+
+Quantifies the paper's §5 positioning: the TTL mechanism the earlier
+cooperative proxies assumed serves stale documents; cooperative leases
+(Ninan et al.) stay fresh while leased but turn updates into re-fetches;
+the cache-cloud push protocol keeps registered copies fresh with one
+origin message per cloud per update.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.extensions import consistency_mode_comparison
+
+
+def test_ext_consistency_modes(benchmark):
+    result = benchmark.pedantic(
+        lambda: consistency_mode_comparison(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    push = result.row("push (cache cloud)")
+    ttl = result.row("TTL (15 min)")
+    leases = result.row("leases (30 min)")
+    benchmark.extra_info["ttl_stale_pct"] = ttl[2]
+    benchmark.extra_info["push_mb"] = push[1]
+
+    # Push-based consistency never serves stale bytes.
+    assert push[2] == 0.0
+    # TTL visibly does; leases sit in between (stale only when lapsed).
+    assert ttl[2] > 1.0
+    assert leases[2] < ttl[2]
+    # Push pays for freshness in bandwidth (bodies travel on updates).
+    assert push[1] > ttl[1]
+    # Exactly one origin message per update under push.
+    assert abs(push[3] - 1.0) < 0.05

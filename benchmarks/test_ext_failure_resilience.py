@@ -1,0 +1,31 @@
+"""Extension — the value of lazy directory replication under failure.
+
+§2.3 claims the dynamic hashing mechanism "can be extended to provide
+resilience to failures of individual beacon points by lazily replicating
+the lookup information" but gives no evaluation. This bench crashes the
+busiest beacon point mid-trace and compares post-failure service with the
+buddy replica installed vs discarded.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.extensions import failure_resilience_value
+
+
+def test_ext_failure_resilience(benchmark):
+    result = benchmark.pedantic(
+        lambda: failure_resilience_value(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    with_replica = result.row("with replica")
+    without = result.row("without replica")
+    benchmark.extra_info["hit_rate_with"] = with_replica[1]
+    benchmark.extra_info["hit_rate_without"] = without[1]
+    benchmark.extra_info["extra_origin_fetches_without"] = without[2] - with_replica[2]
+
+    # The replica preserves lookup state: fewer post-failure origin fetches
+    # and a hit rate at least as good.
+    assert with_replica[2] <= without[2]
+    assert with_replica[1] >= without[1] - 0.2
+    # Losing the directory visibly costs origin traffic.
+    assert without[2] > with_replica[2]

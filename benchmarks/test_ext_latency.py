@@ -1,0 +1,34 @@
+"""Extension — client latency by placement scheme on a real topology.
+
+The paper's conclusion claims the cache-cloud design keeps "client latency
+... minimized". With caches milliseconds apart and the origin ~140 ms away,
+this bench measures where each placement scheme's requests are actually
+served. Also includes the expiration-age scheme (the authors' earlier
+placement work, reference [10]) and the no-cooperation baseline.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.extensions import client_latency_comparison
+
+
+def test_ext_latency(benchmark):
+    result = benchmark.pedantic(
+        lambda: client_latency_comparison(BENCH_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    for scheme in ("ad hoc", "utility", "beacon", "no cooperation"):
+        benchmark.extra_info[scheme.replace(" ", "_")] = result.latency(scheme)
+
+    # Cooperation slashes latency: every cooperative scheme beats isolation.
+    for scheme in ("ad hoc", "utility", "expiration age", "beacon"):
+        assert result.latency(scheme) < result.latency("no cooperation") / 2
+    # Replication-friendly schemes serve closer to the client than the
+    # single-copy beacon policy.
+    assert result.latency("utility") < result.latency("beacon")
+    assert result.latency("ad hoc") < result.latency("beacon")
+    # Utility trades a little latency for its traffic savings, but stays in
+    # ad hoc's neighborhood, far from beacon's.
+    assert result.latency("utility") < (
+        result.latency("ad hoc") + result.latency("beacon")
+    ) / 2

@@ -1,0 +1,40 @@
+"""Figure 5 — impact of beacon-ring size on load balancing.
+
+Paper setup: Sydney dataset; clouds of 10, 20 and 50 caches; dynamic hashing
+with 2, 5 and 10 beacon points per ring vs static hashing.
+Paper finding: 2-point rings already beat static significantly; larger rings
+improve balance incrementally (at higher sub-range determination cost).
+"""
+
+from benchmarks.conftest import SWEEP_SCALE, show
+from repro.experiments.figures import figure5
+
+
+def test_fig5_ring_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure5(SWEEP_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    for num_caches in result.cloud_sizes:
+        benchmark.extra_info[f"static_cov_{num_caches}"] = result.cov[
+            (num_caches, "static")
+        ]
+        benchmark.extra_info[f"dyn10_cov_{num_caches}"] = result.cov[
+            (num_caches, "dynamic/10-per-ring")
+        ]
+
+    # Paper-shape assertions, per cloud size:
+    for num_caches in result.cloud_sizes:
+        static = result.cov[(num_caches, "static")]
+        dyn_largest = result.cov[(num_caches, "dynamic/10-per-ring")]
+        # The largest rings balance better than static hashing.
+        assert dyn_largest < static
+    # Averaged over cloud sizes, bigger rings help monotonically (individual
+    # sizes are noisy at reduced scale).
+    mean_cov = {
+        ring: sum(result.cov[(n, f"dynamic/{ring}-per-ring")] for n in result.cloud_sizes)
+        / len(result.cloud_sizes)
+        for ring in result.ring_sizes
+    }
+    assert mean_cov[10] <= mean_cov[2] + 0.03

@@ -1,0 +1,29 @@
+"""Figure 6 — impact of the Zipf parameter on load balancing.
+
+Paper setup: Zipf datasets with parameter 0 → 0.99, 10-cache cloud.
+Paper finding: both schemes balance well at low skew; the coefficient of
+variation rises with skew for both, far faster for static hashing — ~45 %
+worse than dynamic at parameter 0.9.
+"""
+
+from benchmarks.conftest import SWEEP_SCALE, show
+from repro.experiments.figures import figure6
+
+
+def test_fig6_zipf_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure6(SWEEP_SCALE), rounds=1, iterations=1
+    )
+    show(result.render())
+
+    benchmark.extra_info["divergence_at_0.9_pct"] = result.divergence_at(0.9)
+
+    # Skew hurts static hashing: CoV at 0.99 well above CoV at 0.
+    assert result.cov_static[-1] > result.cov_static[0]
+    # Dynamic hashing degrades more slowly than static as skew grows.
+    static_growth = result.cov_static[-1] - result.cov_static[0]
+    dynamic_growth = result.cov_dynamic[-1] - result.cov_dynamic[0]
+    assert dynamic_growth < static_growth
+    # At high skew (>= 0.9), static is clearly worse than dynamic.
+    index_09 = result.alphas.index(0.9)
+    assert result.cov_static[index_09] > result.cov_dynamic[index_09]

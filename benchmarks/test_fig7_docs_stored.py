@@ -1,0 +1,38 @@
+"""Figure 7 — percentage of documents stored per cache vs update rate.
+
+Paper setup: 10-cache cloud, unlimited disk, DsCC weight 0 (others ⅓ each),
+utility threshold 0.5, document update rate swept over {10..1000}/unit.
+Paper finding: ad hoc stores ~everything everywhere; beacon-point placement
+stores ~10 % per cache (one copy per cloud); utility placement stores a lot
+at low update rates and progressively less as consistency maintenance gets
+expensive.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.figures import figure7_and_8
+
+
+def test_fig7_docs_stored(benchmark):
+    stored, _ = benchmark.pedantic(
+        lambda: figure7_and_8(BENCH_SCALE), rounds=1, iterations=1
+    )
+    stored.figure = "Figure 7"
+    show(stored.render())
+
+    lowest, highest = stored.update_rates[0], stored.update_rates[-1]
+    benchmark.extra_info["utility_pct_low_rate"] = stored.value("utility", lowest)
+    benchmark.extra_info["utility_pct_high_rate"] = stored.value("utility", highest)
+    benchmark.extra_info["beacon_pct"] = stored.value("beacon", lowest)
+
+    for rate in stored.update_rates:
+        # Ordering at every rate: ad hoc > utility > beacon.
+        assert stored.value("ad hoc", rate) > stored.value("utility", rate)
+        assert stored.value("utility", rate) > stored.value("beacon", rate)
+        # Beacon-point placement ≈ one copy per document → ~10 % per cache.
+        assert 7.0 < stored.value("beacon", rate) < 16.0
+    # Utility placement is update-rate sensitive: monotone decrease.
+    utility = stored.series["utility"]
+    assert utility[-1] < utility[0]
+    # Ad hoc is update-rate insensitive (same stores regardless of updates).
+    adhoc = stored.series["ad hoc"]
+    assert max(adhoc) - min(adhoc) < 2.0

@@ -1,0 +1,39 @@
+"""Figure 8 — network load vs update rate, unlimited disk (DsCC off).
+
+Paper finding: utility-based placement generates the least traffic across
+the sweep; its margin over ad hoc grows with the update rate (ad hoc's
+replica population makes update fan-out expensive); beacon-point placement
+is expensive at all rates because nearly every request crosses the cloud.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, show
+from repro.experiments.figures import figure7_and_8
+
+
+def test_fig8_network_load(benchmark):
+    _, traffic = benchmark.pedantic(
+        lambda: figure7_and_8(BENCH_SCALE), rounds=1, iterations=1
+    )
+    traffic.figure = "Figure 8"
+    show(traffic.render())
+
+    lowest, highest = traffic.update_rates[0], traffic.update_rates[-1]
+    benchmark.extra_info["utility_mb_low"] = traffic.value("utility", lowest)
+    benchmark.extra_info["adhoc_mb_high"] = traffic.value("ad hoc", highest)
+    benchmark.extra_info["beacon_mb_low"] = traffic.value("beacon", lowest)
+
+    # Ad hoc's traffic explodes with update rate; utility's does not.
+    assert traffic.value("ad hoc", highest) > 5 * traffic.value("ad hoc", lowest)
+    assert traffic.value("utility", highest) < traffic.value("ad hoc", highest)
+    # The utility margin over ad hoc grows with the update rate.
+    margin_low = traffic.value("ad hoc", lowest) - traffic.value("utility", lowest)
+    margin_high = traffic.value("ad hoc", highest) - traffic.value("utility", highest)
+    assert margin_high > margin_low
+    # Beacon placement pays heavy steady-state transfer traffic even when
+    # updates are rare (every non-beacon request crosses the cloud).
+    assert traffic.value("beacon", lowest) > traffic.value("ad hoc", lowest)
+    # Utility is the cheapest scheme over the mid-sweep (the paper's claim;
+    # at the extreme endpoints the margins are within noise at small scale).
+    for rate in traffic.update_rates[1:-1]:
+        assert traffic.value("utility", rate) <= traffic.value("ad hoc", rate)
+        assert traffic.value("utility", rate) <= traffic.value("beacon", rate) * 1.05

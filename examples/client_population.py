@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Client population: non-uniform demand from real client placement.
+
+The paper's traces address caches directly; this example models the layer
+below — clients scattered over a metro area, each served by the nearest
+edge cache — and shows two things:
+
+1. Client hot-spots translate into *non-uniform per-cache request volume*
+   (derived via :class:`ClientPopulation.cache_weights`).
+2. Beacon-point load balancing is orthogonal to that front-end skew: the
+   dynamic scheme balances the *beacon* role even while the caches receive
+   very different request volumes.
+
+Usage::
+
+    python examples/client_population.py
+"""
+
+import random
+
+from repro import AssignmentScheme, CloudConfig, build_corpus, run_experiment
+from repro.core.config import PlacementScheme
+from repro.metrics.report import Table
+from repro.network.clients import ClientPopulation
+from repro.network.topology import EuclideanTopology
+from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
+
+
+def main() -> None:
+    num_caches = 10
+    rng = random.Random(3)
+    topology = EuclideanTopology.random(num_caches, rng, extent=100.0)
+    # Metro popularity follows a Zipf-ish profile: one big city, a couple
+    # of mid-size towns, a long tail — so per-cache demand is genuinely
+    # skewed, not just noisy.
+    metro_weights = [1.0 / (rank ** 0.9) for rank in range(1, num_caches + 1)]
+    population = ClientPopulation(
+        topology,
+        list(range(num_caches)),
+        num_clients=5_000,
+        hotspot_fraction=0.9,
+        spread=5.0,
+        hotspot_weights=metro_weights,
+        rng=rng,
+    )
+    weights = population.cache_weights()
+    counts = population.clients_per_cache()
+    print(f"placed {len(population)} clients; "
+          f"mean last-mile latency {population.mean_access_latency_ms():.1f} ms")
+
+    corpus = build_corpus(2_000)
+    duration = 90.0
+    generator = SyntheticTraceGenerator(
+        WorkloadConfig(
+            num_documents=len(corpus),
+            num_caches=num_caches,
+            request_rate_per_cache=60.0,
+            update_rate=30.0,
+            alpha_requests=0.9,
+            duration_minutes=duration,
+            cache_weights=weights,
+            seed=3,
+        )
+    )
+    trace = generator.build_trace()
+
+    config = CloudConfig(
+        num_caches=num_caches,
+        num_rings=5,
+        cycle_length=15.0,
+        assignment=AssignmentScheme.DYNAMIC,
+        placement=PlacementScheme.BEACON,
+    )
+    result = run_experiment(
+        config, corpus, trace.requests, trace.updates, duration=duration
+    )
+
+    requests_per_cache = [0] * num_caches
+    for record in trace.requests:
+        requests_per_cache[record.cache_id] += 1
+
+    table = Table(
+        ["cache", "clients", "requests received", "beacon load/min"],
+        precision=1,
+    )
+    for cache_id in range(num_caches):
+        table.add_row(
+            cache_id,
+            counts[cache_id],
+            requests_per_cache[cache_id],
+            result.beacon_loads[cache_id],
+        )
+    print(table.render())
+
+    from repro.metrics.loadbalance import coefficient_of_variation
+
+    front_cov = coefficient_of_variation([float(c) for c in requests_per_cache])
+    beacon_cov = result.load_stats.cov
+    print(f"\nfront-end request CoV (client-driven): {front_cov:.3f}")
+    print(f"beacon-role load CoV (dynamic hashing): {beacon_cov:.3f}")
+    print("The beacon role stays balanced even though client demand is not —")
+    print("sub-range determination moves lookup/update duty, not clients.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Consistency modes compared: push (cache clouds) vs TTL vs leases.
+
+The related-work positioning of the paper (§5), measured: the same
+Sydney-like trace is replayed under the cache-cloud push protocol, the
+TTL mechanism the classic cooperative proxies assumed, and Ninan et al.'s
+cooperative leases, at several TTL/lease durations.
+
+Usage::
+
+    python examples/consistency_modes.py
+"""
+
+from repro.baselines.leases import CooperativeLeaseCloud, LeaseConfig
+from repro.baselines.ttl import TTLCloud, TTLConfig
+from repro.core.cloud import CacheCloud
+from repro.core.config import CloudConfig, PlacementScheme, WEIGHTS_DSCC_OFF
+from repro.metrics.report import Table
+from repro.workload.documents import build_corpus
+from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
+from repro.workload.trace import UpdateRecord
+
+
+def drive(system, trace, cycle_hook=None, cycle=15.0):
+    next_cycle = cycle
+    for record in trace.merged():
+        while cycle_hook is not None and record.time >= next_cycle:
+            cycle_hook(next_cycle)
+            next_cycle += cycle
+        if isinstance(record, UpdateRecord):
+            system.handle_update(record.doc_id, record.time)
+        else:
+            system.handle_request(record.cache_id, record.doc_id, record.time)
+
+
+def main() -> None:
+    duration = 90.0
+    corpus = build_corpus(1_500)
+    trace = SydneyTraceGenerator(
+        SydneyConfig(
+            num_documents=len(corpus),
+            num_caches=10,
+            peak_request_rate_per_cache=60.0,
+            base_update_rate=40.0,
+            duration_minutes=duration,
+            diurnal_period_minutes=duration,
+            num_epochs=3,
+            drift_pool=150,
+            seed=5,
+        )
+    ).build_trace()
+    print(f"trace: {len(trace.requests)} requests, {len(trace.updates)} updates\n")
+
+    table = Table(
+        ["mode", "MB/min", "stale hits (%)", "origin fetches", "cloud hit (%)"],
+        precision=2,
+    )
+
+    cloud = CacheCloud(
+        CloudConfig(
+            num_caches=10,
+            num_rings=5,
+            cycle_length=15.0,
+            placement=PlacementScheme.UTILITY,
+            utility_weights=WEIGHTS_DSCC_OFF,
+        ),
+        corpus,
+    )
+    drive(cloud, trace, cycle_hook=cloud.run_cycle)
+    stats = cloud.aggregate_stats()
+    table.add_row(
+        "push (cache cloud)",
+        cloud.transport.meter.megabytes_per_unit_time(duration),
+        0.0,
+        cloud.origin.fetches_served,
+        100.0 * stats.cloud_hit_rate,
+    )
+
+    for ttl_minutes in (5.0, 15.0, 60.0):
+        ttl = TTLCloud(TTLConfig(num_caches=10, ttl_minutes=ttl_minutes), corpus)
+        drive(ttl, trace)
+        table.add_row(
+            f"TTL {ttl_minutes:g} min",
+            ttl.transport.meter.megabytes_per_unit_time(duration),
+            100.0 * ttl.staleness_rate,
+            ttl.origin.fetches_served,
+            100.0 * ttl.aggregate_stats().cloud_hit_rate,
+        )
+
+    for lease_minutes in (15.0, 60.0):
+        leases = CooperativeLeaseCloud(
+            LeaseConfig(num_caches=10, lease_duration_minutes=lease_minutes), corpus
+        )
+        drive(leases, trace)
+        table.add_row(
+            f"leases {lease_minutes:g} min",
+            leases.transport.meter.megabytes_per_unit_time(duration),
+            100.0 * leases.staleness_rate,
+            leases.origin.fetches_served,
+            100.0 * leases.aggregate_stats().cloud_hit_rate,
+        )
+
+    print(table.render())
+    print(
+        "\nReading: TTL is cheap but serves stale documents (worse the longer"
+        "\nthe TTL); leases stay fresh while leased but re-fetch hot documents"
+        "\nafter every update; the cache-cloud push protocol delivers zero"
+        "\nstaleness at the cost of body transfers on the update path."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Flash crowd: watch dynamic hashing rebalance beacon load live.
+
+The Sydney-like generator injects flash crowds — sudden multiplicative
+bursts of requests for a single page — and rotates the hot set across
+epochs. This example replays such a trace through a static-hashing cloud
+and a dynamic-hashing cloud *simultaneously*, sampling the per-beacon load
+imbalance every cycle, so you can watch the sub-range determination react
+to each burst while static hashing stays pinned.
+
+Usage::
+
+    python examples/flash_crowd.py
+"""
+
+from repro import (
+    AssignmentScheme,
+    CacheCloud,
+    CloudConfig,
+    PlacementScheme,
+    Simulator,
+    build_corpus,
+)
+from repro.experiments.runner import TraceFeeder
+from repro.metrics.loadbalance import coefficient_of_variation
+from repro.metrics.report import Table
+from repro.simulation.events import EventPriority
+from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
+
+
+def main() -> None:
+    duration = 120.0
+    sample_every = 10.0
+    corpus = build_corpus(1_500)
+    trace = SydneyTraceGenerator(
+        SydneyConfig(
+            num_documents=len(corpus),
+            num_caches=10,
+            peak_request_rate_per_cache=80.0,
+            base_update_rate=30.0,
+            duration_minutes=duration,
+            diurnal_period_minutes=duration,
+            num_epochs=4,
+            drift_pool=150,
+            num_flash_crowds=3,
+            flash_multiplier=12.0,
+            seed=11,
+        )
+    ).build_trace()
+
+    def build(assignment):
+        config = CloudConfig(
+            num_caches=10,
+            num_rings=5,
+            cycle_length=sample_every,
+            assignment=assignment,
+            placement=PlacementScheme.BEACON,
+        )
+        return CacheCloud(config, corpus)
+
+    clouds = {
+        "static": build(AssignmentScheme.STATIC),
+        "dynamic": build(AssignmentScheme.DYNAMIC),
+    }
+
+    sim = Simulator()
+    samples = []
+    window_start = {name: {} for name in clouds}
+
+    def sample():
+        row = [sim.now]
+        for name, cloud in clouds.items():
+            loads = cloud.beacon_loads()
+            deltas = [
+                loads[c] - window_start[name].get(c, 0.0) for c in loads
+            ]
+            window_start[name] = loads
+            row.append(coefficient_of_variation(deltas) if any(deltas) else 0.0)
+        samples.append(row)
+
+    for cloud in clouds.values():
+        cloud.attach_cycles(sim)
+        TraceFeeder(sim, cloud, trace.merged()).start()
+    t = sample_every
+    while t <= duration:
+        sim.schedule_at(t, sample, priority=EventPriority.METRICS)
+        t += sample_every
+    sim.run_until(duration)
+
+    print("Per-window beacon-load imbalance (coefficient of variation):\n")
+    table = Table(["t (min)", "static CoV", "dynamic CoV"], precision=3)
+    for row in samples:
+        table.add_row(*row)
+    print(table.render())
+    tail = samples[len(samples) // 2 :]
+    mean_static = sum(r[1] for r in tail) / len(tail)
+    mean_dynamic = sum(r[2] for r in tail) / len(tail)
+    print(
+        f"\nsteady-state mean CoV: static={mean_static:.3f} "
+        f"dynamic={mean_dynamic:.3f}"
+    )
+    print("Dynamic hashing re-draws sub-ranges each cycle, so bursts show up")
+    print("as one-cycle spikes that decay; static hashing cannot adapt.")
+
+
+if __name__ == "__main__":
+    main()

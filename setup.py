@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by pyproject.toml; this file exists only so
+``pip install -e .`` works in offline environments whose setuptools lacks
+PEP 660 editable-wheel support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,257 @@
+"""Command-line interface for the cache-clouds reproduction.
+
+Usage::
+
+    python -m repro figure 3 --scale small
+    python -m repro figures --scale tiny
+    python -m repro ablation threshold
+    python -m repro extension consistency
+    python -m repro trace --documents 500 --duration 30 --out trace.txt
+    python -m repro run --caches 10 --rings 5 --placement utility
+    python -m repro compare old.json new.json --tolerance 0.1
+
+Every subcommand prints the same tables the benchmark harness produces, so
+the paper's figures can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.experiments import ablations, extensions, figures
+from repro.experiments.runner import run_experiment
+from repro.workload.documents import build_corpus
+from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
+from repro.workload.readers import write_trace
+
+_SCALES = {
+    "tiny": figures.TINY_SCALE,
+    "small": figures.SMALL_SCALE,
+    "paper": figures.PAPER_SCALE,
+}
+
+_FIGURES = {
+    "3": figures.figure3,
+    "4": figures.figure4,
+    "5": figures.figure5,
+    "6": figures.figure6,
+    "7": figures.figure7,
+    "8": figures.figure8,
+    "9": figures.figure9,
+}
+
+_ABLATIONS = {
+    "load-info": ablations.ablation_load_information,
+    "consistent-hashing": ablations.ablation_consistent_hashing,
+    "threshold": ablations.ablation_threshold,
+    "cycle-length": ablations.ablation_cycle_length,
+}
+
+_EXTENSIONS = {
+    "consistency": extensions.consistency_mode_comparison,
+    "multi-cloud": extensions.multi_cloud_update_savings,
+    "adaptive-weights": extensions.adaptive_weights_comparison,
+    "failure-resilience": extensions.failure_resilience_value,
+    "latency": extensions.client_latency_comparison,
+    "capabilities": extensions.capability_proportionality,
+}
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="experiment scale (tiny for smoke runs, paper for near-paper sizes)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cache Clouds (ICDCS 2005) reproduction harness",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig = subparsers.add_parser("figure", help="reproduce one paper figure (3-9)")
+    fig.add_argument("number", choices=sorted(_FIGURES))
+    _add_scale(fig)
+
+    allfigs = subparsers.add_parser("figures", help="reproduce every figure")
+    _add_scale(allfigs)
+
+    abl = subparsers.add_parser("ablation", help="run one ablation study")
+    abl.add_argument("name", choices=sorted(_ABLATIONS))
+    _add_scale(abl)
+
+    ext = subparsers.add_parser("extension", help="run one extension experiment")
+    ext.add_argument("name", choices=sorted(_EXTENSIONS))
+    _add_scale(ext)
+
+    trace = subparsers.add_parser("trace", help="generate a synthetic trace file")
+    trace.add_argument("--documents", type=int, default=1000)
+    trace.add_argument("--caches", type=int, default=10)
+    trace.add_argument("--request-rate", type=float, default=60.0,
+                       help="requests per minute per cache")
+    trace.add_argument("--update-rate", type=float, default=40.0,
+                       help="updates per minute")
+    trace.add_argument("--alpha", type=float, default=0.9, help="Zipf parameter")
+    trace.add_argument("--duration", type=float, default=60.0, help="minutes")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", required=True, help="output trace file")
+
+    run = subparsers.add_parser("run", help="run one cloud over a generated workload")
+    run.add_argument("--documents", type=int, default=2000)
+    run.add_argument("--caches", type=int, default=10)
+    run.add_argument("--rings", type=int, default=5)
+    run.add_argument("--assignment", choices=[s.value for s in AssignmentScheme],
+                     default="dynamic")
+    run.add_argument("--placement", choices=[s.value for s in PlacementScheme],
+                     default="utility")
+    run.add_argument("--request-rate", type=float, default=60.0)
+    run.add_argument("--update-rate", type=float, default=40.0)
+    run.add_argument("--alpha", type=float, default=0.9)
+    run.add_argument("--duration", type=float, default=60.0)
+    run.add_argument("--cycle", type=float, default=15.0)
+    run.add_argument("--seed", type=int, default=0)
+
+    compare = subparsers.add_parser(
+        "compare", help="diff two archived experiment results (JSON)"
+    )
+    compare.add_argument("old", help="baseline archive")
+    compare.add_argument("new", help="candidate archive")
+    compare.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative drift above which a metric is reported (default 5%%)",
+    )
+
+    return parser
+
+
+def _cmd_figure(args) -> int:
+    scale = _SCALES[args.scale]
+    result = _FIGURES[args.number](scale)
+    if isinstance(result, tuple):
+        for part in result:
+            print(part.render())
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    scale = _SCALES[args.scale]
+    # Figures 7 and 8 share their runs; regenerate them together.
+    for number in ("3", "4", "5", "6"):
+        print(_FIGURES[number](scale).render())
+    stored, traffic = figures.figure7_and_8(scale)
+    stored.figure, traffic.figure = "Figure 7", "Figure 8"
+    print(stored.render())
+    print(traffic.render())
+    print(figures.figure9(scale).render())
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    print(_ABLATIONS[args.name](_SCALES[args.scale]).render())
+    return 0
+
+
+def _cmd_extension(args) -> int:
+    print(_EXTENSIONS[args.name](_SCALES[args.scale]).render())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    generator = SyntheticTraceGenerator(
+        WorkloadConfig(
+            num_documents=args.documents,
+            num_caches=args.caches,
+            request_rate_per_cache=args.request_rate,
+            update_rate=args.update_rate,
+            alpha_requests=args.alpha,
+            duration_minutes=args.duration,
+            seed=args.seed,
+        )
+    )
+    count = write_trace(generator.build_trace(), args.out)
+    print(f"wrote {count} records to {args.out}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    corpus = build_corpus(args.documents)
+    generator = SyntheticTraceGenerator(
+        WorkloadConfig(
+            num_documents=args.documents,
+            num_caches=args.caches,
+            request_rate_per_cache=args.request_rate,
+            update_rate=args.update_rate,
+            alpha_requests=args.alpha,
+            duration_minutes=args.duration,
+            seed=args.seed,
+        )
+    )
+    config = CloudConfig(
+        num_caches=args.caches,
+        num_rings=args.rings,
+        cycle_length=args.cycle,
+        assignment=AssignmentScheme(args.assignment),
+        placement=PlacementScheme(args.placement),
+        seed=args.seed,
+    )
+    result = run_experiment(
+        config,
+        corpus,
+        generator.requests(),
+        generator.updates(),
+        duration=args.duration,
+    )
+    stats = result.stats
+    print(f"requests={stats.requests} updates={result.updates}")
+    print(f"local hit rate={stats.local_hit_rate:.3f} "
+          f"cloud hit rate={stats.cloud_hit_rate:.3f}")
+    print(f"beacon-load CoV={result.load_stats.cov:.3f} "
+          f"peak/mean={result.load_stats.peak_to_mean:.3f}")
+    print(f"network={result.network_mb_per_unit:.3f} MB/unit")
+    print(f"docs stored per cache={result.docs_stored_percent:.1f}%")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.experiments.reporting import compare_runs, load_result
+
+    old = load_result(args.old)
+    new = load_result(args.new)
+    drifted = compare_runs(old, new, tolerance=args.tolerance)
+    if not drifted:
+        print(f"no metric drifted more than {args.tolerance:.0%}")
+        return 0
+    print(f"{len(drifted)} metrics drifted more than {args.tolerance:.0%}:")
+    for path, before, after, delta in drifted:
+        print(f"  {path}: {before:g} -> {after:g} ({delta:+.1%})")
+    return 1
+
+
+_HANDLERS = {
+    "figure": _cmd_figure,
+    "figures": _cmd_figures,
+    "ablation": _cmd_ablation,
+    "extension": _cmd_extension,
+    "trace": _cmd_trace,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Per-beacon-point state: lookup directory plus load accounting.
+
+Every cache in a cloud doubles as a beacon point for the documents mapped to
+it. This module tracks what that role requires:
+
+* the **lookup directory** for the owned documents,
+* **cycle load counters** — lookups + updates handled during the current
+  sub-range determination cycle (``CAvgLoad``), optionally broken down per
+  IrH value (``CIrHLd``),
+* **cumulative counters** for experiment reporting (loads per unit time in
+  Figures 3-6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.directory import LookupDirectory
+
+
+class BeaconState:
+    """Beacon-point role state for one cache.
+
+    Parameters
+    ----------
+    cache_id:
+        The hosting cache.
+    track_per_irh:
+        Whether to maintain ``CIrHLd`` (per-IrH-value load counters). The
+        paper notes some beacon points "might find it costly" to keep this;
+        when off, the rebalancer falls back to the ``CAvgLoad`` average
+        approximation.
+    """
+
+    def __init__(self, cache_id: int, track_per_irh: bool = True) -> None:
+        self.cache_id = cache_id
+        self.track_per_irh = track_per_irh
+        self.directory = LookupDirectory()
+        # Current-cycle counters (reset every cycle).
+        self.cycle_lookups = 0
+        self.cycle_updates = 0
+        self._cycle_per_irh: Dict[int, float] = {}
+        # Cumulative counters (reset only by the experiment harness).
+        self.total_lookups = 0
+        self.total_updates = 0
+        self.directory_entries_migrated = 0
+
+    # ------------------------------------------------------------------
+    # Load recording
+    # ------------------------------------------------------------------
+    def record_lookup(self, irh: int) -> None:
+        """Count one document lookup handled for IrH value ``irh``."""
+        self.cycle_lookups += 1
+        self.total_lookups += 1
+        if self.track_per_irh:
+            self._cycle_per_irh[irh] = self._cycle_per_irh.get(irh, 0.0) + 1.0
+
+    def record_update(self, irh: int) -> None:
+        """Count one update propagation handled for IrH value ``irh``."""
+        self.cycle_updates += 1
+        self.total_updates += 1
+        if self.track_per_irh:
+            self._cycle_per_irh[irh] = self._cycle_per_irh.get(irh, 0.0) + 1.0
+
+    # ------------------------------------------------------------------
+    # Cycle protocol
+    # ------------------------------------------------------------------
+    @property
+    def cycle_load(self) -> float:
+        """``CAvgLoad``: lookups + updates handled this cycle."""
+        return float(self.cycle_lookups + self.cycle_updates)
+
+    def cycle_snapshot(self) -> Tuple[float, Optional[Dict[int, float]]]:
+        """The (load, per-IrH loads) report sent to the cycle coordinator."""
+        per_irh = dict(self._cycle_per_irh) if self.track_per_irh else None
+        return self.cycle_load, per_irh
+
+    def reset_cycle(self) -> None:
+        """Start a fresh measurement cycle."""
+        self.cycle_lookups = 0
+        self.cycle_updates = 0
+        self._cycle_per_irh.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_load(self) -> float:
+        """Cumulative lookups + updates since the last harness reset."""
+        return float(self.total_lookups + self.total_updates)
+
+    def reset_totals(self) -> None:
+        """Reset cumulative counters (e.g. after a warm-up window)."""
+        self.total_lookups = 0
+        self.total_updates = 0
+        self.directory_entries_migrated = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"BeaconState(cache={self.cache_id}, "
+            f"cycle_load={self.cycle_load:.0f}, total_load={self.total_load:.0f}, "
+            f"directory={len(self.directory)})"
+        )

@@ -1,0 +1,602 @@
+"""The cache cloud orchestrator.
+
+:class:`CacheCloud` wires together everything the paper describes: a set of
+edge caches, the beacon-point role (lookup directory + load counters) at
+every cache, a document→beacon assignment scheme (static / consistent /
+dynamic hashing), a placement policy (ad hoc / beacon-point / utility), the
+origin server, and byte-accounted transport.
+
+The three cooperative behaviours (paper §2):
+
+* **Collaborative miss handling** — :meth:`handle_request` consults the
+  document's beacon point on a local miss and retrieves from an in-cloud
+  holder before falling back to the origin.
+* **Cooperative update propagation** — :meth:`handle_update` delivers one
+  server→beacon transfer per update, fanned out in-cloud to holders.
+* **Smart placement** — every retrieval ends with a placement decision
+  through the configured policy.
+
+Set ``cooperation=False`` in the config for the isolated-caches baseline
+(each cache talks only to the origin).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.beacon import BeaconState
+from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.core.consistent import ConsistentHashAssigner
+from repro.core.failure import FailureResilienceManager
+from repro.core.hashing import (
+    DynamicHashAssigner,
+    StaticHashAssigner,
+    irh_value,
+    ring_index,
+)
+from repro.core.placement import make_placement
+from repro.core.protocol import (
+    DirectoryTransfer,
+    LookupRequest,
+    LookupResponse,
+    ProtocolTrace,
+    RangeAnnouncement,
+    UpdateNotice,
+    UpdatePush,
+)
+from repro.core.ring import BeaconRing
+from repro.core.utility import PlacementContext
+from repro.edgecache.cache import EdgeCache
+from repro.edgecache.replacement import make_policy
+from repro.edgecache.stats import CacheStats, DecayingRate
+from repro.network.bandwidth import TrafficCategory
+from repro.network.origin import OriginServer
+from repro.network.transport import Transport
+from repro.simulation.engine import Simulator
+from repro.simulation.process import PeriodicProcess
+from repro.workload.documents import Corpus
+
+
+class RequestOutcome(enum.Enum):
+    """How a client request was ultimately served."""
+
+    LOCAL_HIT = "local_hit"
+    CLOUD_HIT = "cloud_hit"  # retrieved from a peer cache in the cloud
+    ORIGIN_FETCH = "origin_fetch"  # group miss
+
+
+@dataclass
+class RequestResult:
+    """Outcome + client-perceived latency of one request."""
+
+    outcome: RequestOutcome
+    latency_ms: float
+    served_by: int  # cache id, or the origin's node id
+
+
+class CacheCloud:
+    """One cooperative cache cloud.
+
+    Parameters
+    ----------
+    config:
+        Scheme selection and sizing.
+    corpus:
+        The document universe (URLs and sizes).
+    origin:
+        Shared origin server; created internally when omitted.
+    transport:
+        Byte-accounted message fabric; a zero-latency one is created when
+        omitted.
+    capture_protocol:
+        Enable :class:`ProtocolTrace` message capture (tests only).
+    """
+
+    def __init__(
+        self,
+        config: CloudConfig,
+        corpus: Corpus,
+        origin: Optional[OriginServer] = None,
+        transport: Optional[Transport] = None,
+        capture_protocol: bool = False,
+    ) -> None:
+        self.config = config
+        self.corpus = corpus
+        self.origin = origin if origin is not None else OriginServer(corpus)
+        self.transport = transport if transport is not None else Transport()
+        self.trace = ProtocolTrace(enabled=capture_protocol)
+
+        self.caches: List[EdgeCache] = [
+            EdgeCache(
+                cache_id=cache_id,
+                capacity_bytes=config.capacity_bytes,
+                policy=make_policy(config.replacement_policy),
+                capability=config.capability_of(cache_id),
+                half_life=config.half_life,
+            )
+            for cache_id in range(config.num_caches)
+        ]
+        self.beacons: Dict[int, BeaconState] = {
+            cache_id: BeaconState(cache_id, track_per_irh=config.use_per_irh_load)
+            for cache_id in range(config.num_caches)
+        }
+        self.assigner = self._build_assigner()
+        self.placement = make_placement(config)
+        self.failure_manager: Optional[FailureResilienceManager] = None
+        if config.failure_resilience:
+            if config.assignment is not AssignmentScheme.DYNAMIC:
+                raise ValueError(
+                    "failure_resilience requires the dynamic assignment scheme"
+                )
+            self.failure_manager = FailureResilienceManager(self)
+
+        # Cloud-wide update-rate monitoring (feeds the CMC component).
+        self._update_rates: Dict[int, DecayingRate] = {}
+        # Per-document assignment caches (invalidated on membership change).
+        n = len(corpus)
+        self._doc_irh: List[Optional[int]] = [None] * n
+        self._doc_ring: List[Optional[int]] = [None] * n
+        self._beacon_cache: List[Optional[int]] = [None] * n
+        self._beacon_cache_valid = config.assignment is not AssignmentScheme.DYNAMIC
+
+        # Cloud-level counters.
+        self.requests_handled = 0
+        self.updates_handled = 0
+        self.stale_refreshes = 0
+        self.directory_repairs = 0
+        self.cycles_run = 0
+        self._cycle_process: Optional[PeriodicProcess] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_assigner(self):
+        config = self.config
+        cache_ids = list(range(config.num_caches))
+        if config.assignment is AssignmentScheme.STATIC:
+            return StaticHashAssigner(cache_ids)
+        if config.assignment is AssignmentScheme.CONSISTENT:
+            return ConsistentHashAssigner(
+                cache_ids, virtual_nodes=config.consistent_virtual_nodes
+            )
+        capabilities = {
+            cache_id: config.capability_of(cache_id) for cache_id in cache_ids
+        }
+        rings = [
+            BeaconRing(members, config.intra_gen, capabilities)
+            for members in config.ring_members()
+        ]
+        return DynamicHashAssigner(rings, config.intra_gen)
+
+    # ------------------------------------------------------------------
+    # Document mapping helpers
+    # ------------------------------------------------------------------
+    def doc_irh(self, doc_id: int) -> int:
+        """The document's IrH value (memoized)."""
+        cached = self._doc_irh[doc_id]
+        if cached is None:
+            cached = irh_value(self.corpus[doc_id].url, self.config.intra_gen)
+            self._doc_irh[doc_id] = cached
+        return cached
+
+    def doc_ring(self, doc_id: int) -> int:
+        """The document's beacon-ring index (memoized; dynamic scheme)."""
+        cached = self._doc_ring[doc_id]
+        if cached is None:
+            cached = ring_index(self.corpus[doc_id].url, self.config.num_rings)
+            self._doc_ring[doc_id] = cached
+        return cached
+
+    def beacon_for_doc(self, doc_id: int) -> int:
+        """Cache id of the document's current beacon point."""
+        if self._beacon_cache_valid:
+            cached = self._beacon_cache[doc_id]
+            if cached is not None:
+                return cached
+        if isinstance(self.assigner, DynamicHashAssigner):
+            ring = self.assigner.rings[self.doc_ring(doc_id)]
+            beacon = ring.owner_of(self.doc_irh(doc_id))
+            return beacon
+        beacon = self.assigner.beacon_for(self.corpus[doc_id].url)
+        self._beacon_cache[doc_id] = beacon
+        return beacon
+
+    def invalidate_assignment_cache(self) -> None:
+        """Drop memoized beacon assignments after membership changes."""
+        self._beacon_cache = [None] * len(self.corpus)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def handle_request(self, cache_id: int, doc_id: int, now: float) -> RequestResult:
+        """Process one client request arriving at ``cache_id``."""
+        cache = self.caches[cache_id]
+        if not cache.alive:
+            raise RuntimeError(f"request routed to failed cache {cache_id}")
+        self.requests_handled += 1
+        cache.observe_request(doc_id, now)
+        current_version = self.origin.version_of(doc_id)
+
+        copy = cache.copy_of(doc_id)
+        if copy is not None:
+            if copy.version >= current_version:
+                cache.serve_local(doc_id, now)
+                result = RequestResult(RequestOutcome.LOCAL_HIT, 0.0, cache_id)
+                cache.stats.record_latency(result.latency_ms)
+                return result
+            # Stale copy (possible after failures drop directory state):
+            # discard and fall through to the miss path.
+            cache.drop(doc_id, now)
+            self._notify_eviction(cache_id, doc_id)
+            self.stale_refreshes += 1
+
+        if not self.config.cooperation:
+            result = self._serve_from_origin_directly(cache, doc_id, now)
+        else:
+            result = self._serve_miss_cooperatively(cache, doc_id, now)
+        cache.stats.record_latency(result.latency_ms)
+        return result
+
+    def _serve_from_origin_directly(
+        self, cache: EdgeCache, doc_id: int, now: float
+    ) -> RequestResult:
+        """No-cooperation baseline: every miss goes to the origin."""
+        size = self.origin.serve_fetch(doc_id)
+        latency_ms = 60_000.0 * self.transport.rtt_minutes(
+            self.origin.node_id, cache.cache_id
+        )
+        self.transport.send_document(
+            self.origin.node_id, cache.cache_id, size, TrafficCategory.ORIGIN_FETCH
+        )
+        cache.stats.origin_fetches += 1
+        version = self.origin.version_of(doc_id)
+        cache.admit(doc_id, size, version, now)  # ad hoc local store
+        return RequestResult(RequestOutcome.ORIGIN_FETCH, latency_ms, self.origin.node_id)
+
+    def _serve_miss_cooperatively(
+        self, cache: EdgeCache, doc_id: int, now: float
+    ) -> RequestResult:
+        cache_id = cache.cache_id
+        size = self.corpus[doc_id].size_bytes
+        version = self.origin.version_of(doc_id)
+        irh = self.doc_irh(doc_id)
+
+        beacon_id = self.beacon_for_doc(doc_id)
+        beacon = self.beacons[beacon_id]
+        beacon.record_lookup(irh)
+        hops = self.assigner.discovery_hops(self.corpus[doc_id].url)
+        # Lookup request (possibly multi-hop for consistent hashing) + response.
+        lookup_latency = 0.0
+        for _ in range(hops):
+            lookup_latency += self.transport.send_control(cache_id, beacon_id)
+        lookup_latency += self.transport.send_control(beacon_id, cache_id)
+        self.trace.emit(LookupRequest(cache_id, beacon_id, doc_id))
+
+        holder_id = self._pick_holder(beacon, doc_id, cache_id, version)
+        self.trace.emit(
+            LookupResponse(
+                beacon_id, cache_id, doc_id, frozenset(beacon.directory.holders(doc_id))
+            )
+        )
+
+        if holder_id is not None:
+            transfer_latency = self.transport.send_document(
+                holder_id, cache_id, size, TrafficCategory.PEER_TRANSFER
+            )
+            # Serving a peer refreshes the holder's recency for the document.
+            self.caches[holder_id].storage.access(doc_id, now)
+            cache.stats.cloud_hits += 1
+            outcome = RequestOutcome.CLOUD_HIT
+            served_by = holder_id
+        else:
+            cache.stats.origin_fetches += 1
+            outcome = RequestOutcome.ORIGIN_FETCH
+            if (
+                self.config.placement is PlacementScheme.BEACON
+                and cache_id != beacon_id
+                and self.caches[beacon_id].alive
+            ):
+                # Beacon-point placement: the copy must land at the beacon,
+                # so the fetch is routed through it.
+                self.origin.serve_fetch(doc_id)
+                transfer_latency = self.transport.send_document(
+                    self.origin.node_id, beacon_id, size, TrafficCategory.ORIGIN_FETCH
+                )
+                self._admit_and_register(beacon_id, doc_id, size, version, now)
+                transfer_latency += self.transport.send_document(
+                    beacon_id, cache_id, size, TrafficCategory.PEER_TRANSFER
+                )
+                served_by = self.origin.node_id
+                latency_ms = 60_000.0 * (lookup_latency + transfer_latency)
+                # The requester itself never stores under beacon placement.
+                cache.decline()
+                return RequestResult(outcome, latency_ms, served_by)
+            self.origin.serve_fetch(doc_id)
+            transfer_latency = self.transport.send_document(
+                self.origin.node_id, cache_id, size, TrafficCategory.ORIGIN_FETCH
+            )
+            served_by = self.origin.node_id
+
+        # Placement decision at the requester.
+        ctx = self._placement_context(cache, doc_id, size, now, beacon_id)
+        if self.placement.should_store(ctx):
+            self._admit_and_register(cache_id, doc_id, size, version, now)
+        else:
+            cache.decline()
+        latency_ms = 60_000.0 * (lookup_latency + transfer_latency)
+        return RequestResult(outcome, latency_ms, served_by)
+
+    def _pick_holder(
+        self, beacon: BeaconState, doc_id: int, requester: int, version: int
+    ) -> Optional[int]:
+        """Choose a live, fresh holder from the directory; repair stale entries.
+
+        Preference order: nearest holder by transport latency (all ties break
+        toward the lowest cache id for determinism).
+        """
+        candidates = beacon.directory.holders(doc_id)
+        candidates.discard(requester)
+        live: List[int] = []
+        for holder in sorted(candidates):
+            holder_cache = self.caches[holder]
+            if holder_cache.alive and holder_cache.holds_fresh(doc_id, version):
+                live.append(holder)
+            else:
+                # Directory entry out of date (failure or stale replica).
+                beacon.directory.remove_holder(doc_id, holder)
+                self.directory_repairs += 1
+        if not live:
+            return None
+        if self.transport.topology is None:
+            return live[0]
+        return min(
+            live, key=lambda h: (self.transport.latency_minutes(h, requester), h)
+        )
+
+    def _placement_context(
+        self,
+        cache: EdgeCache,
+        doc_id: int,
+        size: int,
+        now: float,
+        beacon_id: int,
+    ) -> PlacementContext:
+        holders = self.beacons[beacon_id].directory.holders(doc_id)
+        holders.discard(cache.cache_id)
+        residences = [
+            self.caches[h].storage.expected_residence(now)
+            for h in holders
+            if self.caches[h].alive
+        ]
+        finite = [r for r in residences if r is not None]
+        # An existing holder with no contention keeps its copy indefinitely;
+        # only when every holder is under contention is the minimum finite.
+        if holders and len(finite) == len(residences) and finite:
+            min_residence = min(finite)
+        else:
+            min_residence = None
+        update_tracker = self._update_rates.get(doc_id)
+        return PlacementContext(
+            cache_id=cache.cache_id,
+            doc_id=doc_id,
+            size_bytes=size,
+            now=now,
+            beacon_id=beacon_id,
+            existing_holders=frozenset(holders),
+            local_access_rate=cache.frequencies.rate_of(doc_id, now),
+            cache_mean_rate=cache.frequencies.mean_rate(now),
+            update_rate=update_tracker.rate(now) if update_tracker else 0.0,
+            expected_residence_new=cache.storage.expected_residence(now),
+            min_residence_existing=min_residence,
+        )
+
+    def _admit_and_register(
+        self, cache_id: int, doc_id: int, size: int, version: int, now: float
+    ) -> None:
+        cache = self.caches[cache_id]
+        evicted = cache.admit(doc_id, size, version, now)
+        if evicted is None:
+            cache.decline()  # did not fit at all
+            return
+        beacon_id = self.beacon_for_doc(doc_id)
+        self.beacons[beacon_id].directory.add_holder(
+            doc_id, self.doc_irh(doc_id), cache_id
+        )
+        if cache_id != beacon_id:
+            self.transport.send_control(cache_id, beacon_id)  # holder registration
+        for evicted_doc in evicted:
+            self._notify_eviction(cache_id, evicted_doc)
+
+    def _notify_eviction(self, cache_id: int, doc_id: int) -> None:
+        """Tell the evicted document's beacon that this cache dropped it."""
+        beacon_id = self.beacon_for_doc(doc_id)
+        self.beacons[beacon_id].directory.remove_holder(doc_id, cache_id)
+        if cache_id != beacon_id:
+            self.transport.send_control(cache_id, beacon_id)
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+    def handle_update(self, doc_id: int, now: float) -> int:
+        """Process one origin-server update; returns holders refreshed."""
+        self.updates_handled += 1
+        version = self.origin.publish_update(doc_id)
+        tracker = self._update_rates.get(doc_id)
+        if tracker is None:
+            tracker = DecayingRate(self.config.half_life)
+            self._update_rates[doc_id] = tracker
+        tracker.observe(now)
+        size = self.corpus[doc_id].size_bytes
+
+        if not self.config.cooperation:
+            # The origin must refresh every holding cache individually.
+            refreshed = 0
+            for cache in self.caches:
+                if cache.alive and cache.holds(doc_id):
+                    self.origin.note_update_message(doc_id)
+                    self.transport.send_document(
+                        self.origin.node_id,
+                        cache.cache_id,
+                        size,
+                        TrafficCategory.UPDATE_SERVER_TO_BEACON,
+                    )
+                    cache.apply_update(doc_id, version, now, size_bytes=size)
+                    refreshed += 1
+            return refreshed
+
+        beacon_id = self.beacon_for_doc(doc_id)
+        beacon = self.beacons[beacon_id]
+        beacon.record_update(self.doc_irh(doc_id))
+        self.origin.note_update_message(doc_id)
+
+        holders = [
+            h
+            for h in sorted(beacon.directory.holders(doc_id))
+            if self.caches[h].alive and self.caches[h].holds(doc_id)
+        ]
+        carries_body = bool(holders)
+        self.trace.emit(
+            UpdateNotice(doc_id, version, beacon_id, carries_body, size)
+        )
+        if not carries_body:
+            # Nobody holds the document: a bare invalidation notice suffices.
+            self.transport.send_control(self.origin.node_id, beacon_id)
+            return 0
+        self.transport.send_document(
+            self.origin.node_id, beacon_id, size, TrafficCategory.UPDATE_SERVER_TO_BEACON
+        )
+        refreshed = 0
+        for holder in holders:
+            if holder != beacon_id:
+                self.transport.send_document(
+                    beacon_id, holder, size, TrafficCategory.UPDATE_FANOUT
+                )
+                self.trace.emit(UpdatePush(beacon_id, holder, doc_id, version, size))
+            self.caches[holder].apply_update(doc_id, version, now, size_bytes=size)
+            refreshed += 1
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # Sub-range determination cycles
+    # ------------------------------------------------------------------
+    def run_cycle(self, now: float) -> None:
+        """Run one sub-range determination cycle on every beacon ring."""
+        self.cycles_run += 1
+        if not isinstance(self.assigner, DynamicHashAssigner):
+            # Static/consistent schemes have no cycle; counters still reset
+            # so per-cycle load reporting stays comparable.
+            for beacon in self.beacons.values():
+                beacon.reset_cycle()
+            return
+        for ring_idx, ring in enumerate(self.assigner.rings):
+            loads: Dict[int, float] = {}
+            per_irh: Dict[int, float] = {}
+            for member in ring.members:
+                load, member_per_irh = self.beacons[member].cycle_snapshot()
+                loads[member] = load
+                if member_per_irh:
+                    for irh, value in member_per_irh.items():
+                        per_irh[irh] = per_irh.get(irh, 0.0) + value
+            result = ring.rebalance(
+                loads, per_irh if self.config.use_per_irh_load else None
+            )
+            for member in ring.members:
+                self.beacons[member].reset_cycle()
+            if not result.changed:
+                continue
+            # Announce the new assignment to every cache and the origin.
+            coordinator = ring.members[0]
+            assignments = tuple(
+                (member, span_lo, span_hi)
+                for member, arc in result.ranges.items()
+                for span_lo, span_hi in arc.spans()
+            )
+            self.trace.emit(RangeAnnouncement(ring_idx, assignments))
+            for cache in self.caches:
+                if cache.cache_id != coordinator and cache.alive:
+                    self.transport.send_control(coordinator, cache.cache_id)
+            self.transport.send_control(coordinator, self.origin.node_id)
+            # Migrate lookup records for the moved IrH spans.
+            for lo, hi, src, dst in result.moves:
+                entries = self.beacons[src].directory.extract_range(lo, hi)
+                self.beacons[dst].directory.ingest(entries)
+                self.beacons[dst].directory_entries_migrated += len(entries)
+                transfer = DirectoryTransfer(src, dst, len(entries))
+                self.trace.emit(transfer)
+                self.transport.send(
+                    src, dst, transfer.size_bytes, TrafficCategory.DIRECTORY_MIGRATION
+                )
+        if self.failure_manager is not None:
+            self.failure_manager.sync(now)
+
+    def attach_cycles(self, simulator: Simulator) -> PeriodicProcess:
+        """Arm the periodic sub-range determination on ``simulator``."""
+        if self._cycle_process is not None:
+            return self._cycle_process
+        self._cycle_process = PeriodicProcess(
+            simulator,
+            self.config.cycle_length,
+            self.run_cycle,
+            label="sub-range-determination",
+        )
+        self._cycle_process.start()
+        return self._cycle_process
+
+    # ------------------------------------------------------------------
+    # Failure injection (delegates)
+    # ------------------------------------------------------------------
+    def fail_cache(self, cache_id: int, now: float) -> int:
+        """Crash a cache; requires ``failure_resilience=True``."""
+        if self.failure_manager is None:
+            raise RuntimeError("failure injection requires failure_resilience=True")
+        return self.failure_manager.fail_cache(cache_id, now)
+
+    def recover_cache(self, cache_id: int, now: float) -> None:
+        """Recover a previously failed cache."""
+        if self.failure_manager is None:
+            raise RuntimeError("failure injection requires failure_resilience=True")
+        self.failure_manager.recover_cache(cache_id, now)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def beacon_loads(self) -> Dict[int, float]:
+        """Cumulative lookup+update load handled per beacon point."""
+        return {
+            cache_id: beacon.total_load for cache_id, beacon in self.beacons.items()
+        }
+
+    def reset_beacon_totals(self) -> None:
+        """Reset cumulative beacon counters (end of warm-up)."""
+        for beacon in self.beacons.values():
+            beacon.reset_totals()
+
+    def docs_stored_fraction(self) -> float:
+        """Mean over caches of (resident documents / corpus size)."""
+        total = sum(len(cache.storage) for cache in self.caches)
+        return total / (len(self.caches) * len(self.corpus))
+
+    def aggregate_stats(self) -> CacheStats:
+        """Sum of all per-cache counters."""
+        total = CacheStats()
+        for cache in self.caches:
+            total.merge(cache.stats)
+        return total
+
+    def holders_of(self, doc_id: int) -> Set[int]:
+        """Ground truth: caches whose storage currently contains ``doc_id``."""
+        return {
+            cache.cache_id
+            for cache in self.caches
+            if cache.alive and cache.holds(doc_id)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheCloud(caches={len(self.caches)}, "
+            f"assignment={self.config.assignment.value}, "
+            f"placement={self.config.placement.value}, "
+            f"requests={self.requests_handled}, updates={self.updates_handled})"
+        )

@@ -1,0 +1,163 @@
+"""Failure resilience: lazy directory replication and beacon failover.
+
+The paper (§2.3): "The dynamic hashing mechanism can be extended to provide
+resilience to failures of individual beacon points by lazily replicating the
+lookup information" — details omitted for space. We implement the natural
+design:
+
+* Every beacon point has a **buddy** — its successor in ring order. Once per
+  sub-range cycle the beacon's directory snapshot is shipped to the buddy
+  (*lazy*: mutations between syncs are not replicated).
+* On a beacon-point failure, the ring merges the failed member's sub-range
+  into a neighbor (:meth:`BeaconRing.remove_member`), and that absorber
+  installs the buddy replica — possibly one cycle stale. Entries naming the
+  failed cache as a holder are scrubbed (its disk contents died with it).
+* On recovery the node rejoins its ring at its original position with half
+  of its old absorber's range, pulling the live directory entries for the
+  range it takes over.
+
+Staleness is visible, not hidden: lookups that consult a stale replica may
+return holders that no longer hold the document; the cloud's request path
+verifies holders and repairs the directory, and the manager counts those
+repairs so experiments can quantify the cost of laziness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.directory import DIRECTORY_ENTRY_BYTES
+from repro.network.bandwidth import TrafficCategory
+
+Entry = Tuple[int, int, Set[int]]
+
+
+class FailureResilienceManager:
+    """Buddy replication + failover for a dynamically hashed cloud.
+
+    Operates on the cloud's rings/beacons through a narrow surface so it can
+    be unit-tested with fakes. ``cloud`` must expose ``assigner`` (a
+    :class:`~repro.core.hashing.DynamicHashAssigner`), ``beacons``,
+    ``caches``, and ``transport``.
+    """
+
+    def __init__(self, cloud) -> None:
+        self._cloud = cloud
+        #: cache_id -> last synced directory snapshot (held at the buddy).
+        self._replicas: Dict[int, List[Entry]] = {}
+        #: Original (ring_index, position) of each member, for reinstatement.
+        self._home: Dict[int, Tuple[int, int]] = {}
+        for ring_index, ring in enumerate(cloud.assigner.rings):
+            for position, member in enumerate(ring.members):
+                self._home[member] = (ring_index, position)
+        self.syncs = 0
+        self.failovers = 0
+        self.recoveries = 0
+        self.stale_entries_installed = 0
+
+    # ------------------------------------------------------------------
+    # Buddies
+    # ------------------------------------------------------------------
+    def buddy_of(self, cache_id: int) -> Optional[int]:
+        """The ring successor of ``cache_id`` (None in a 1-member ring)."""
+        ring_index, _ = self._home[cache_id]
+        members = self._cloud.assigner.rings[ring_index].members
+        if cache_id not in members or len(members) < 2:
+            return None
+        position = members.index(cache_id)
+        return members[(position + 1) % len(members)]
+
+    # ------------------------------------------------------------------
+    # Lazy replication
+    # ------------------------------------------------------------------
+    def sync(self, now: float) -> None:
+        """Ship each live beacon's directory snapshot to its buddy."""
+        for cache_id, beacon in self._cloud.beacons.items():
+            if not self._cloud.caches[cache_id].alive:
+                continue
+            buddy = self.buddy_of(cache_id)
+            if buddy is None:
+                continue
+            snapshot = beacon.directory.snapshot()
+            self._replicas[cache_id] = snapshot
+            self._cloud.transport.send(
+                cache_id,
+                buddy,
+                max(1, len(snapshot)) * DIRECTORY_ENTRY_BYTES,
+                TrafficCategory.DIRECTORY_MIGRATION,
+            )
+        self.syncs += 1
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def fail_cache(self, cache_id: int, now: float) -> int:
+        """Crash ``cache_id``; returns the absorbing beacon's cache id."""
+        cloud = self._cloud
+        cache = cloud.caches[cache_id]
+        if not cache.alive:
+            raise ValueError(f"cache {cache_id} is already down")
+        cache.fail(now)
+        # Its stored copies are gone: scrub every live directory.
+        for other_id, beacon in cloud.beacons.items():
+            if other_id != cache_id:
+                beacon.directory.drop_cache(cache_id)
+        ring_index, _ = self._home[cache_id]
+        ring = cloud.assigner.rings[ring_index]
+        absorber = ring.remove_member(cache_id)
+        # Install the (possibly stale) buddy replica at the absorber.
+        replica = self._replicas.pop(cache_id, [])
+        scrubbed: List[Entry] = []
+        for doc_id, irh, holders in replica:
+            holders = {h for h in holders if h != cache_id and cloud.caches[h].alive}
+            if holders:
+                scrubbed.append((doc_id, irh, holders))
+        cloud.beacons[absorber].directory.ingest(scrubbed)
+        self.stale_entries_installed += len(scrubbed)
+        # The failed node's own live directory dies with it.
+        cloud.beacons[cache_id].directory = type(
+            cloud.beacons[cache_id].directory
+        )()
+        cloud.invalidate_assignment_cache()
+        self.failovers += 1
+        return absorber
+
+    def recover_cache(self, cache_id: int, now: float) -> None:
+        """Bring a failed node back into its home ring (cold storage)."""
+        cloud = self._cloud
+        cache = cloud.caches[cache_id]
+        if cache.alive:
+            raise ValueError(f"cache {cache_id} is not down")
+        cache.recover()
+        ring_index, position = self._home[cache_id]
+        ring = cloud.assigner.rings[ring_index]
+        insert_at = min(position, len(ring.members))
+        ring.add_member(cache_id, insert_at, capability=cache.capability)
+        # Pull the directory entries for the range it now owns from the other
+        # members of its own ring (IrH values are ring-local: a document with
+        # the same IrH in a different ring belongs to that ring's beacons).
+        taken = ring.sub_range_of(cache_id)
+        target_beacon = cloud.beacons[cache_id]
+        for other_id in ring.members:
+            if other_id == cache_id:
+                continue
+            beacon = cloud.beacons[other_id]
+            entries = []
+            for span_lo, span_hi in taken.spans():
+                entries.extend(beacon.directory.extract_range(span_lo, span_hi))
+            if entries:
+                target_beacon.directory.ingest(entries)
+                cloud.transport.send(
+                    other_id,
+                    cache_id,
+                    len(entries) * DIRECTORY_ENTRY_BYTES,
+                    TrafficCategory.DIRECTORY_MIGRATION,
+                )
+        cloud.invalidate_assignment_cache()
+        self.recoveries += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureResilienceManager(syncs={self.syncs}, "
+            f"failovers={self.failovers}, recoveries={self.recoveries})"
+        )

@@ -1,0 +1,136 @@
+"""URL hashing and the beacon-point assigner interface.
+
+The paper's two-step beacon discovery (§2.2):
+
+1. **Ring selection** — ``ring = md5(url) mod num_rings`` (a fixed random
+   hash).
+2. **Intra-ring selection** — ``IrH(url) = md5(url) mod IntraGen``; the
+   beacon point whose current sub-range contains the IrH value owns the
+   document.
+
+The *static hashing* baseline collapses both steps into
+``beacon = md5(url) mod num_caches``.
+
+Assigners expose a common interface so the cloud can swap schemes:
+:meth:`DocumentAssigner.beacon_for` and :meth:`DocumentAssigner.discovery_hops`
+(the number of control messages needed to find the beacon — 1 for
+table-based schemes, O(log n) for the distributed consistent-hashing
+baseline, per the paper's cost discussion in §2.1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+# Two independent hash streams are derived from MD5 with distinct salts: one
+# for ring selection, one for the intra-ring value. Using the same unsalted
+# digest for both would correlate ring choice with IrH value (both are
+# residues of the same integer), subtly skewing the two-step mapping.
+_RING_SALT = b"ring:"
+_IRH_SALT = b"irh:"
+
+
+def url_hash(url: str, salt: bytes = b"") -> int:
+    """128-bit MD5 hash of ``url`` (optionally salted) as an int.
+
+    MD5 is the hash named by the paper; its cryptographic weakness is
+    irrelevant here — only distribution uniformity matters.
+    """
+    digest = hashlib.md5(salt + url.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big")
+
+
+def ring_index(url: str, num_rings: int) -> int:
+    """Step 1: which beacon ring a document belongs to."""
+    if num_rings <= 0:
+        raise ValueError(f"num_rings must be positive, got {num_rings}")
+    return url_hash(url, _RING_SALT) % num_rings
+
+
+def irh_value(url: str, intra_gen: int) -> int:
+    """Step 2: the document's intra-ring hash (IrH) value in [0, IntraGen)."""
+    if intra_gen <= 0:
+        raise ValueError(f"intra_gen must be positive, got {intra_gen}")
+    return url_hash(url, _IRH_SALT) % intra_gen
+
+
+class DocumentAssigner(ABC):
+    """Maps document URLs to beacon-point cache ids."""
+
+    @abstractmethod
+    def beacon_for(self, url: str) -> int:
+        """Cache id of the document's beacon point."""
+
+    @abstractmethod
+    def members(self) -> List[int]:
+        """All cache ids that can serve as beacon points."""
+
+    def discovery_hops(self, url: str) -> int:
+        """Control messages needed to locate the beacon point.
+
+        Table-based schemes (static, dynamic with announced sub-ranges)
+        resolve in one hop.
+        """
+        return 1
+
+
+class StaticHashAssigner(DocumentAssigner):
+    """The paper's static hashing baseline: ``md5(url) mod num_caches``.
+
+    Simple and zero-maintenance, but "lookup and update loads often follow
+    the highly skewed Zipf distribution, and under such circumstances random
+    hashing cannot provide good load balancing" (§2.1) — the effect Figures
+    3-6 quantify.
+    """
+
+    def __init__(self, cache_ids: Sequence[int]) -> None:
+        if not cache_ids:
+            raise ValueError("need at least one cache")
+        self._members = list(cache_ids)
+
+    def beacon_for(self, url: str) -> int:
+        return self._members[url_hash(url) % len(self._members)]
+
+    def members(self) -> List[int]:
+        return list(self._members)
+
+    def __repr__(self) -> str:
+        return f"StaticHashAssigner(caches={len(self._members)})"
+
+
+class DynamicHashAssigner(DocumentAssigner):
+    """The paper's contribution: beacon rings + intra-ring dynamic hashing.
+
+    Holds the ring objects; :meth:`beacon_for` runs the two-step discovery.
+    The rings themselves rebalance via
+    :meth:`repro.core.ring.BeaconRing.rebalance`, which this assigner simply
+    reflects (its view is always the rings' current sub-ranges).
+    """
+
+    def __init__(self, rings: Sequence["BeaconRing"], intra_gen: int) -> None:  # noqa: F821
+        if not rings:
+            raise ValueError("need at least one beacon ring")
+        self.rings = list(rings)
+        self.intra_gen = intra_gen
+
+    def ring_of(self, url: str) -> "BeaconRing":  # noqa: F821
+        """The beacon ring owning ``url`` (step 1)."""
+        return self.rings[ring_index(url, len(self.rings))]
+
+    def beacon_for(self, url: str) -> int:
+        ring = self.ring_of(url)
+        return ring.owner_of(irh_value(url, self.intra_gen))
+
+    def members(self) -> List[int]:
+        result: List[int] = []
+        for ring in self.rings:
+            result.extend(ring.members)
+        return sorted(result)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicHashAssigner(rings={len(self.rings)}, "
+            f"intra_gen={self.intra_gen})"
+        )

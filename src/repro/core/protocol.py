@@ -1,0 +1,122 @@
+"""Protocol message definitions.
+
+The simulation accounts every protocol interaction as a message with a
+byte size. These dataclasses name the messages of the cache-cloud protocols
+(paper §2) and centralize their sizes. The cloud orchestrator constructs
+them both for byte accounting and so that tests can assert on protocol-level
+behaviour rather than implementation internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro.core.directory import DIRECTORY_ENTRY_BYTES
+from repro.network.transport import CONTROL_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class LookupRequest:
+    """Cache -> beacon point: "who holds document ``doc_id``?"."""
+
+    requester: int
+    beacon: int
+    doc_id: int
+    size_bytes: int = CONTROL_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class LookupResponse:
+    """Beacon point -> cache: the current holder list."""
+
+    beacon: int
+    requester: int
+    doc_id: int
+    holders: FrozenSet[int]
+    size_bytes: int = CONTROL_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class UpdateNotice:
+    """Origin -> beacon point: a document changed (with the new body).
+
+    ``carries_body`` distinguishes the full-document transfer (needed when
+    in-cloud holders must be refreshed) from a bare invalidation notice
+    (sufficient when nobody holds the document).
+    """
+
+    doc_id: int
+    version: int
+    beacon: int
+    carries_body: bool
+    body_bytes: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the notice."""
+        return self.body_bytes if self.carries_body else CONTROL_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class UpdatePush:
+    """Beacon point -> holder: the refreshed document body."""
+
+    beacon: int
+    holder: int
+    doc_id: int
+    version: int
+    body_bytes: int
+
+
+@dataclass(frozen=True)
+class RangeAnnouncement:
+    """Cycle coordinator -> cloud + origin: new sub-range assignments.
+
+    Sent to every cache in the cloud and to the origin server after each
+    sub-range determination cycle that changed boundaries (paper §2.3).
+    """
+
+    ring_index: int
+    assignments: Tuple[Tuple[int, int, int], ...]  # (cache_id, lo, hi)
+    size_bytes: int = CONTROL_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class DirectoryTransfer:
+    """Old beacon point -> new beacon point: migrated lookup records."""
+
+    source: int
+    target: int
+    entry_count: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: per-entry payload, floor of one control message."""
+        return max(CONTROL_MESSAGE_BYTES, self.entry_count * DIRECTORY_ENTRY_BYTES)
+
+
+@dataclass
+class ProtocolTrace:
+    """Optional capture of protocol messages for tests and debugging.
+
+    Disabled by default in experiments (captures cost memory); tests enable
+    it to assert protocol-level properties, e.g. "the origin sent exactly
+    one body-carrying notice per cloud per update".
+    """
+
+    enabled: bool = False
+    messages: List[object] = field(default_factory=list)
+
+    def emit(self, message: object) -> None:
+        """Record ``message`` when capture is enabled."""
+        if self.enabled:
+            self.messages.append(message)
+
+    def of_type(self, message_type: type) -> List[object]:
+        """All captured messages of ``message_type``."""
+        return [m for m in self.messages if isinstance(m, message_type)]
+
+    def clear(self) -> None:
+        """Drop captured messages."""
+        self.messages.clear()

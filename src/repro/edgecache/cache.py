@@ -1,0 +1,143 @@
+"""The edge cache node facade.
+
+An :class:`EdgeCache` bundles the storage, statistics, and rate trackers of
+one node. It is deliberately cloud-agnostic: the cooperation protocols
+(lookup, update fan-out, placement) live in :mod:`repro.core.cloud`, which
+orchestrates a set of these nodes. That separation mirrors the paper's
+layering — a cache cloud is built *from* ordinary edge caches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.edgecache.document import CachedDocument
+from repro.edgecache.replacement import ReplacementPolicy
+from repro.edgecache.stats import AccessFrequencyTracker, CacheStats
+from repro.edgecache.storage import CacheStorage
+
+
+class EdgeCache:
+    """One edge cache node.
+
+    Parameters
+    ----------
+    cache_id:
+        Cloud-local identifier (also the node id in the topology).
+    capacity_bytes:
+        Disk budget; ``None`` for the unlimited-disk experiments.
+    policy:
+        Replacement policy instance (defaults to LRU inside the storage).
+    capability:
+        Relative machine power (paper §2.3: "each beacon point is assigned a
+        positive real value to indicate its capability"). Used by the
+        sub-range determination to give stronger nodes larger load shares.
+    half_life:
+        Half-life for the access-frequency estimators.
+    """
+
+    def __init__(
+        self,
+        cache_id: int,
+        capacity_bytes: Optional[int] = None,
+        policy: Optional[ReplacementPolicy] = None,
+        capability: float = 1.0,
+        half_life: float = 60.0,
+    ) -> None:
+        if cache_id < 0:
+            raise ValueError(f"cache_id must be >= 0, got {cache_id}")
+        if capability <= 0:
+            raise ValueError(f"capability must be > 0, got {capability}")
+        self.cache_id = cache_id
+        self.capability = capability
+        self.storage = CacheStorage(capacity_bytes=capacity_bytes, policy=policy)
+        self.stats = CacheStats()
+        self.frequencies = AccessFrequencyTracker(half_life=half_life)
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def holds(self, doc_id: int) -> bool:
+        """Whether a copy (fresh or stale) is resident."""
+        return doc_id in self.storage
+
+    def holds_fresh(self, doc_id: int, current_version: int) -> bool:
+        """Whether a copy at ``current_version`` is resident."""
+        doc = self.storage.get(doc_id)
+        return doc is not None and doc.version >= current_version
+
+    def copy_of(self, doc_id: int) -> Optional[CachedDocument]:
+        """The resident copy, if any."""
+        return self.storage.get(doc_id)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def observe_request(self, doc_id: int, now: float) -> None:
+        """Record the arrival of a client request (hit or miss)."""
+        self.stats.requests += 1
+        self.frequencies.observe(doc_id, now)
+
+    def serve_local(self, doc_id: int, now: float) -> CachedDocument:
+        """Serve a local hit; updates recency/frequency state."""
+        doc = self.storage.access(doc_id, now)
+        self.stats.local_hits += 1
+        return doc
+
+    def admit(
+        self, doc_id: int, size_bytes: int, version: int, now: float
+    ) -> Optional[List[int]]:
+        """Store a retrieved copy; returns evicted doc ids or ``None``.
+
+        ``None`` means the document did not fit at all; the caller must not
+        register this cache as a holder.
+        """
+        evicted = self.storage.admit(doc_id, size_bytes, version, now)
+        if evicted is not None:
+            self.stats.stores += 1
+        return evicted
+
+    def decline(self) -> None:
+        """Record that placement declined to store a retrieved copy."""
+        self.stats.placement_rejects += 1
+
+    # ------------------------------------------------------------------
+    # Update path
+    # ------------------------------------------------------------------
+    def apply_update(
+        self, doc_id: int, version: int, now: float, size_bytes: Optional[int] = None
+    ) -> bool:
+        """Apply a pushed update; returns False when no copy is resident."""
+        if doc_id not in self.storage:
+            return False
+        self.storage.refresh_version(doc_id, version, size_bytes=size_bytes, now=now)
+        self.stats.updates_applied += 1
+        return True
+
+    def drop(self, doc_id: int, now: float) -> bool:
+        """Remove a resident copy (invalidation); returns whether it existed."""
+        if doc_id not in self.storage:
+            return False
+        self.storage.remove(doc_id, now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self, now: float) -> None:
+        """Crash the node: all cached state is lost."""
+        self.alive = False
+        for doc_id in list(self.storage):
+            self.storage.remove(doc_id, now)
+
+    def recover(self) -> None:
+        """Bring the node back with cold storage."""
+        self.alive = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return (
+            f"EdgeCache(id={self.cache_id}, {state}, docs={len(self.storage)}, "
+            f"hit_rate={self.stats.local_hit_rate:.3f})"
+        )

@@ -1,0 +1,53 @@
+"""In-cache document copy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CachedDocument:
+    """A stored copy of a document at one edge cache.
+
+    Attributes
+    ----------
+    doc_id:
+        Corpus document id.
+    size_bytes:
+        Body size (what the copy occupies on disk).
+    version:
+        Version number of the stored copy; compared against the origin's
+        version to decide freshness.
+    stored_at:
+        Simulation time the copy was admitted (for residence-time stats).
+    last_access:
+        Simulation time of the most recent hit.
+    access_count:
+        Number of local hits served by this copy since admission.
+    """
+
+    doc_id: int
+    size_bytes: int
+    version: int
+    stored_at: float
+    last_access: float = field(default=0.0)
+    access_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.doc_id < 0:
+            raise ValueError(f"doc_id must be >= 0, got {self.doc_id}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be > 0, got {self.size_bytes}")
+        if self.version < 0:
+            raise ValueError(f"version must be >= 0, got {self.version}")
+        if self.last_access == 0.0:
+            self.last_access = self.stored_at
+
+    def touch(self, now: float) -> None:
+        """Record a hit at time ``now``."""
+        self.last_access = now
+        self.access_count += 1
+
+    def residence_time(self, now: float) -> float:
+        """How long the copy has been resident."""
+        return max(0.0, now - self.stored_at)

@@ -1,0 +1,26 @@
+"""Experiment harness: drives the simulator and reproduces every figure.
+
+* :mod:`~repro.experiments.runner` — generic trace-driven experiment driver
+  returning an :class:`~repro.experiments.runner.ExperimentResult`.
+* :mod:`~repro.experiments.figures` — one entry point per evaluation figure
+  (Figures 3-9), each returning structured results and a rendered table.
+* :mod:`~repro.experiments.sweeps` — parameter-sweep helpers shared by the
+  figure reproductions and the ablation benches.
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    TraceFeeder,
+    run_experiment,
+    run_trace,
+)
+from repro.experiments.sweeps import UPDATE_RATE_SWEEP, ZIPF_SWEEP
+
+__all__ = [
+    "ExperimentResult",
+    "TraceFeeder",
+    "UPDATE_RATE_SWEEP",
+    "ZIPF_SWEEP",
+    "run_experiment",
+    "run_trace",
+]

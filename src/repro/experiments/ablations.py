@@ -1,0 +1,163 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures:
+
+* :func:`ablation_load_information` — ``CIrHLd`` (per-IrH-value load
+  counters) vs the ``CAvgLoad`` average approximation, Figure 2's B-vs-C
+  scenario measured at workload scale.
+* :func:`ablation_consistent_hashing` — static vs consistent vs dynamic
+  hashing: load balance *and* lookup control-message cost (the paper's §2.1
+  argument that consistent hashing pays O(log n) discovery).
+* :func:`ablation_threshold` — sensitivity of the utility scheme to its
+  store threshold.
+* :func:`ablation_cycle_length` — sensitivity of dynamic hashing to the
+  sub-range determination period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.config import (
+    AssignmentScheme,
+    CloudConfig,
+    PlacementScheme,
+    WEIGHTS_DSCC_OFF,
+)
+from repro.experiments.figures import (
+    FigureScale,
+    SMALL_SCALE,
+    _loadbalance_config,
+    _run,
+    _sydney_trace,
+    _zipf_trace,
+)
+from repro.metrics.report import Table, format_figure_header
+from repro.network.bandwidth import TrafficCategory
+
+
+@dataclass
+class AblationResult:
+    """Generic ablation output: labelled rows of named metrics."""
+
+    name: str
+    columns: List[str]
+    rows: List[Tuple] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = Table(self.columns, precision=3)
+        for row in self.rows:
+            table.add_row(*row)
+        return "\n".join(
+            [format_figure_header(f"Ablation: {self.name}", ""), table.render()]
+        )
+
+    def column(self, name: str) -> List:
+        """One column's values across rows."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+def ablation_load_information(scale: FigureScale = SMALL_SCALE) -> AblationResult:
+    """CIrHLd vs CAvgLoad approximation on the Zipf-0.9 workload."""
+    corpus, trace = _zipf_trace(scale, num_caches=10, alpha=0.9)
+    result = AblationResult(
+        "per-IrH load information (CIrHLd) vs CAvgLoad approximation",
+        ["load info", "CoV", "peak/mean"],
+    )
+    for label, per_irh in (("CIrHLd (exact)", True), ("CAvgLoad (approx)", False)):
+        run = _run(
+            _loadbalance_config(
+                AssignmentScheme.DYNAMIC, 10, 5, corpus, scale, use_per_irh_load=per_irh
+            ),
+            corpus,
+            trace,
+            scale.duration_minutes,
+        )
+        result.rows.append(
+            (label, run.load_stats.cov, run.load_stats.peak_to_mean)
+        )
+    return result
+
+
+def ablation_consistent_hashing(scale: FigureScale = SMALL_SCALE) -> AblationResult:
+    """Static vs consistent vs dynamic hashing: balance + lookup cost."""
+    corpus, trace = _zipf_trace(scale, num_caches=10, alpha=0.9)
+    result = AblationResult(
+        "assignment scheme (incl. consistent hashing baseline)",
+        ["scheme", "CoV", "peak/mean", "control msgs/lookup"],
+    )
+    for label, scheme in (
+        ("static", AssignmentScheme.STATIC),
+        ("consistent", AssignmentScheme.CONSISTENT),
+        ("dynamic", AssignmentScheme.DYNAMIC),
+    ):
+        run = _run(
+            _loadbalance_config(scheme, 10, 5, corpus, scale),
+            corpus,
+            trace,
+            scale.duration_minutes,
+        )
+        lookups = sum(b.total_lookups for b in run.cloud.beacons.values())
+        control = run.traffic.messages_for(TrafficCategory.CONTROL)
+        per_lookup = control / lookups if lookups else 0.0
+        result.rows.append(
+            (label, run.load_stats.cov, run.load_stats.peak_to_mean, per_lookup)
+        )
+    return result
+
+
+def ablation_threshold(
+    scale: FigureScale = SMALL_SCALE,
+    thresholds: Tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+) -> AblationResult:
+    """Utility-threshold sweep: stored % and network load."""
+    update_rate = 195.0 * scale.update_sweep_scale
+    corpus, trace = _sydney_trace(scale, num_caches=10, update_rate=update_rate)
+    unique_docs = len(trace.request_counts_by_doc())
+    result = AblationResult(
+        "utility store threshold",
+        ["threshold", "docs stored/cache (%)", "network MB/unit"],
+    )
+    for threshold in thresholds:
+        config = CloudConfig(
+            num_caches=10,
+            num_rings=5,
+            cycle_length=scale.cycle_length,
+            placement=PlacementScheme.UTILITY,
+            utility_weights=WEIGHTS_DSCC_OFF,
+            utility_threshold=threshold,
+            seed=scale.seed,
+        )
+        run = _run(config, corpus, trace, scale.duration_minutes)
+        resident = sum(len(c.storage) for c in run.cloud.caches) / len(run.cloud.caches)
+        result.rows.append(
+            (threshold, 100.0 * resident / unique_docs, run.network_mb_per_unit)
+        )
+    return result
+
+
+def ablation_cycle_length(
+    scale: FigureScale = SMALL_SCALE,
+    cycle_lengths: Tuple[float, ...] = (5.0, 15.0, 30.0, 60.0),
+) -> AblationResult:
+    """Sub-range determination period sweep on the Sydney-like workload.
+
+    Shorter cycles track drift better but re-announce/migrate more; the
+    paper fixes 1 hour without exploring the trade-off.
+    """
+    corpus, trace = _sydney_trace(scale, num_caches=10)
+    result = AblationResult(
+        "sub-range determination cycle length",
+        ["cycle (min)", "CoV", "directory entries migrated"],
+    )
+    for cycle in cycle_lengths:
+        config = _loadbalance_config(AssignmentScheme.DYNAMIC, 10, 5, corpus, scale)
+        config.cycle_length = cycle
+        run = _run(config, corpus, trace, scale.duration_minutes)
+        migrated = sum(
+            b.directory_entries_migrated for b in run.cloud.beacons.values()
+        )
+        result.rows.append((cycle, run.load_stats.cov, migrated))
+    return result

@@ -1,0 +1,680 @@
+"""Extension experiments beyond the paper's figures.
+
+* :func:`consistency_mode_comparison` — push-based cache clouds vs the TTL
+  and cooperative-lease baselines of :mod:`repro.baselines`: traffic,
+  staleness, origin load (the quantitative version of the paper's §5
+  positioning).
+* :func:`multi_cloud_update_savings` — server-side update messages as the
+  edge network grows: one message per *cloud* (cooperative) vs one per
+  *holder* (isolated caches), across cloud counts.
+* :func:`adaptive_weights_comparison` — fixed utility weights vs the
+  feedback adapter (the paper's stated future work) on a workload whose
+  update intensity shifts mid-run.
+* :func:`failure_resilience_value` — what the lazy directory replication
+  buys: post-failure service quality with and without the buddy replica.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.leases import CooperativeLeaseCloud, LeaseConfig
+from repro.baselines.ttl import TTLCloud, TTLConfig
+from repro.core.adaptive import FeedbackWeightAdapter
+from repro.core.cloud import CacheCloud
+from repro.core.config import (
+    CloudConfig,
+    PlacementScheme,
+    WEIGHTS_DSCC_OFF,
+)
+from repro.core.edgenetwork import EdgeCacheNetwork
+from repro.experiments.figures import FigureScale, SMALL_SCALE, seed_corpus_rng
+from repro.metrics.report import Table, format_figure_header
+from repro.network.topology import EuclideanTopology
+from repro.workload.documents import Corpus, build_corpus
+from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
+from repro.workload.trace import Trace, UpdateRecord
+
+
+# ----------------------------------------------------------------------
+# Consistency-mode comparison
+# ----------------------------------------------------------------------
+@dataclass
+class ConsistencyComparisonResult:
+    """Traffic / staleness / origin-load rows per consistency mode."""
+
+    columns: Tuple[str, ...] = (
+        "mode",
+        "MB/unit",
+        "stale hit rate (%)",
+        "origin msgs/update",
+        "cloud hit rate (%)",
+    )
+    rows: List[Tuple] = field(default_factory=list)
+
+    def row(self, mode: str) -> Tuple:
+        """The row for ``mode``."""
+        for row in self.rows:
+            if row[0] == mode:
+                return row
+        raise KeyError(mode)
+
+    def render(self) -> str:
+        table = Table(list(self.columns), precision=2)
+        for row in self.rows:
+            table.add_row(*row)
+        return "\n".join(
+            [
+                format_figure_header(
+                    "Extension", "consistency modes: push (cache cloud) vs TTL vs leases"
+                ),
+                table.render(),
+            ]
+        )
+
+
+def _sydney(scale: FigureScale, update_rate: Optional[float] = None) -> Tuple[Corpus, Trace]:
+    corpus = build_corpus(scale.num_documents, seed_corpus_rng(scale.seed))
+    rate = (
+        195.0 * scale.update_sweep_scale if update_rate is None else update_rate
+    )
+    config = SydneyConfig(
+        num_documents=scale.num_documents,
+        num_caches=10,
+        peak_request_rate_per_cache=scale.request_rate_per_cache,
+        base_update_rate=rate,
+        duration_minutes=scale.duration_minutes,
+        diurnal_period_minutes=scale.duration_minutes,
+        num_epochs=max(2, int(scale.duration_minutes / 60.0)),
+        drift_pool=max(10, scale.num_documents // 10),
+        seed=scale.seed,
+    )
+    return corpus, SydneyTraceGenerator(config).build_trace()
+
+
+def _drive(system, trace: Trace, cycle_hook=None, cycle_length: float = 15.0) -> None:
+    next_cycle = cycle_length
+    for record in trace.merged():
+        while cycle_hook is not None and record.time >= next_cycle:
+            cycle_hook(next_cycle)
+            next_cycle += cycle_length
+        if isinstance(record, UpdateRecord):
+            system.handle_update(record.doc_id, record.time)
+        else:
+            system.handle_request(record.cache_id, record.doc_id, record.time)
+
+
+def consistency_mode_comparison(
+    scale: FigureScale = SMALL_SCALE,
+    ttl_minutes: float = 15.0,
+    lease_minutes: float = 30.0,
+) -> ConsistencyComparisonResult:
+    """Push vs TTL vs cooperative leases on the same Sydney-like trace."""
+    corpus, trace = _sydney(scale)
+    duration = scale.duration_minutes
+    result = ConsistencyComparisonResult()
+
+    # Push-based cache cloud (the paper's design).
+    cloud = CacheCloud(
+        CloudConfig(
+            num_caches=10,
+            num_rings=5,
+            cycle_length=scale.cycle_length,
+            placement=PlacementScheme.UTILITY,
+            utility_weights=WEIGHTS_DSCC_OFF,
+            seed=scale.seed,
+        ),
+        corpus,
+    )
+    _drive(cloud, trace, cycle_hook=cloud.run_cycle, cycle_length=scale.cycle_length)
+    stats = cloud.aggregate_stats()
+    result.rows.append(
+        (
+            "push (cache cloud)",
+            cloud.transport.meter.megabytes_per_unit_time(duration),
+            0.0,  # push keeps registered copies fresh by construction
+            cloud.origin.update_messages_sent / max(1, cloud.updates_handled),
+            100.0 * stats.cloud_hit_rate,
+        )
+    )
+
+    # TTL baseline.
+    ttl = TTLCloud(TTLConfig(num_caches=10, ttl_minutes=ttl_minutes), corpus)
+    _drive(ttl, trace)
+    result.rows.append(
+        (
+            f"TTL ({ttl_minutes:g} min)",
+            ttl.transport.meter.megabytes_per_unit_time(duration),
+            100.0 * ttl.staleness_rate,
+            0.0,  # the origin never pushes under TTL
+            100.0 * ttl.aggregate_stats().cloud_hit_rate,
+        )
+    )
+
+    # Cooperative leases baseline.
+    leases = CooperativeLeaseCloud(
+        LeaseConfig(num_caches=10, lease_duration_minutes=lease_minutes), corpus
+    )
+    _drive(leases, trace)
+    result.rows.append(
+        (
+            f"leases ({lease_minutes:g} min)",
+            leases.transport.meter.megabytes_per_unit_time(duration),
+            100.0 * leases.staleness_rate,
+            leases.invalidations_sent / max(1, leases.updates_handled),
+            100.0 * leases.aggregate_stats().cloud_hit_rate,
+        )
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Multi-cloud update savings
+# ----------------------------------------------------------------------
+@dataclass
+class MultiCloudResult:
+    """Server update messages vs network size."""
+
+    cloud_counts: List[int]
+    cooperative_messages: List[int] = field(default_factory=list)
+    per_holder_messages: List[int] = field(default_factory=list)
+    hit_rates: List[float] = field(default_factory=list)
+
+    def savings_at(self, num_clouds: int) -> float:
+        """Relative server-message saving of cooperation at ``num_clouds``."""
+        index = self.cloud_counts.index(num_clouds)
+        per_holder = self.per_holder_messages[index]
+        if per_holder == 0:
+            return 0.0
+        return 1.0 - self.cooperative_messages[index] / per_holder
+
+    def render(self) -> str:
+        table = Table(
+            ["clouds", "coop msgs", "per-holder msgs", "saving (%)", "hit rate (%)"],
+            precision=1,
+        )
+        for i, n in enumerate(self.cloud_counts):
+            table.add_row(
+                n,
+                self.cooperative_messages[i],
+                self.per_holder_messages[i],
+                100.0 * self.savings_at(n),
+                100.0 * self.hit_rates[i],
+            )
+        return "\n".join(
+            [
+                format_figure_header(
+                    "Extension", "multi-cloud edge network: server update messages"
+                ),
+                table.render(),
+            ]
+        )
+
+
+def multi_cloud_update_savings(
+    scale: FigureScale = SMALL_SCALE,
+    cloud_counts: Tuple[int, ...] = (1, 2, 4),
+    caches_per_cloud: int = 8,
+) -> MultiCloudResult:
+    """Server update messages: one-per-cloud vs one-per-holder."""
+    result = MultiCloudResult(list(cloud_counts))
+    for num_clouds in cloud_counts:
+        num_caches = num_clouds * caches_per_cloud
+        rng = random.Random(scale.seed)
+        topology = EuclideanTopology.random(
+            num_caches,
+            rng,
+            extent=1000.0,
+            num_clusters=num_clouds,
+            cluster_spread=5.0,
+        )
+        landmarks = []
+        for i, pos in enumerate([(0, 0), (1000, 0), (0, 1000), (1000, 1000)]):
+            node = 100_000 + i
+            topology.add_node(node, pos)
+            landmarks.append(node)
+        corpus = build_corpus(scale.num_documents, seed_corpus_rng(scale.seed))
+        base_config = CloudConfig(
+            num_caches=caches_per_cloud,
+            num_rings=max(1, caches_per_cloud // 2),
+            cycle_length=scale.cycle_length,
+            placement=PlacementScheme.AD_HOC,
+            seed=scale.seed,
+        )
+        network = EdgeCacheNetwork.from_topology(
+            topology,
+            list(range(num_caches)),
+            landmarks,
+            num_clouds,
+            base_config,
+            corpus,
+            rng=rng,
+        )
+        trace = SydneyTraceGenerator(
+            SydneyConfig(
+                num_documents=scale.num_documents,
+                num_caches=num_caches,
+                peak_request_rate_per_cache=scale.request_rate_per_cache / 2,
+                base_update_rate=195.0 * scale.update_sweep_scale,
+                duration_minutes=scale.duration_minutes / 2,
+                diurnal_period_minutes=scale.duration_minutes / 2,
+                num_epochs=2,
+                drift_pool=max(10, scale.num_documents // 10),
+                seed=scale.seed,
+            )
+        ).build_trace()
+        per_holder = 0
+        for record in trace.merged():
+            if isinstance(record, UpdateRecord):
+                # What a non-cooperative origin would pay: one message per
+                # cache currently holding the document, network-wide.
+                per_holder += network.holders_network_wide(record.doc_id)
+                network.handle_update(record.doc_id, record.time)
+            else:
+                network.handle_request(record.cache_id, record.doc_id, record.time)
+        stats = network.stats()
+        result.cooperative_messages.append(stats.server_update_messages)
+        result.per_holder_messages.append(per_holder)
+        result.hit_rates.append(stats.cloud_hit_rate)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Adaptive weights
+# ----------------------------------------------------------------------
+@dataclass
+class AdaptiveWeightsResult:
+    """Fixed vs feedback-adapted utility weights on a shifting workload."""
+
+    fixed_mb: float
+    adaptive_mb: float
+    final_weights: Dict[str, float]
+    steps: int
+
+    @property
+    def improvement_percent(self) -> float:
+        """Traffic saving of adaptation over fixed weights."""
+        if self.fixed_mb == 0:
+            return 0.0
+        return (self.fixed_mb - self.adaptive_mb) / self.fixed_mb * 100.0
+
+    def render(self) -> str:
+        lines = [
+            format_figure_header(
+                "Extension", "feedback weight adaptation (paper's future work)"
+            ),
+            f"fixed weights   : {self.fixed_mb:.2f} MB/unit",
+            f"adaptive weights: {self.adaptive_mb:.2f} MB/unit "
+            f"({self.improvement_percent:+.1f}%)",
+            f"adaptation steps: {self.steps}",
+            "final weights   : "
+            + ", ".join(f"{k}={v:.2f}" for k, v in sorted(self.final_weights.items())),
+        ]
+        return "\n".join(lines)
+
+
+def adaptive_weights_comparison(
+    scale: FigureScale = SMALL_SCALE,
+    quiet_update_rate: Optional[float] = None,
+    burst_update_rate: Optional[float] = None,
+) -> AdaptiveWeightsResult:
+    """Fixed vs adaptive weights on a workload whose update rate jumps.
+
+    The trace's first half is read-mostly; at half-time the update rate
+    multiplies (a breaking-news regime). Fixed weights keep replicating as
+    before; the adapter shifts weight toward CMC and cuts fan-out traffic.
+    """
+    quiet = (
+        195.0 * scale.update_sweep_scale * 0.2
+        if quiet_update_rate is None
+        else quiet_update_rate
+    )
+    burst = (
+        195.0 * scale.update_sweep_scale * 8.0
+        if burst_update_rate is None
+        else burst_update_rate
+    )
+    corpus = build_corpus(scale.num_documents, seed_corpus_rng(scale.seed))
+    half = scale.duration_minutes / 2.0
+
+    def make_half(rate: float, offset: float, seed: int) -> Trace:
+        trace = SydneyTraceGenerator(
+            SydneyConfig(
+                num_documents=scale.num_documents,
+                num_caches=10,
+                peak_request_rate_per_cache=scale.request_rate_per_cache,
+                base_update_rate=rate,
+                duration_minutes=half,
+                diurnal_period_minutes=half,
+                num_epochs=2,
+                drift_pool=max(10, scale.num_documents // 10),
+                seed=seed,
+            )
+        ).build_trace()
+        from repro.workload.trace import RequestRecord
+
+        return Trace(
+            requests=[
+                RequestRecord(r.time + offset, r.cache_id, r.doc_id)
+                for r in trace.requests
+            ],
+            updates=[UpdateRecord(u.time + offset, u.doc_id) for u in trace.updates],
+        )
+
+    quiet_half = make_half(quiet, 0.0, scale.seed)
+    burst_half = make_half(burst, half, scale.seed + 1)
+    trace = Trace(
+        requests=quiet_half.requests + burst_half.requests,
+        updates=quiet_half.updates + burst_half.updates,
+    )
+
+    def run(adaptive: bool):
+        cloud = CacheCloud(
+            CloudConfig(
+                num_caches=10,
+                num_rings=5,
+                cycle_length=scale.cycle_length,
+                placement=PlacementScheme.UTILITY,
+                utility_weights=WEIGHTS_DSCC_OFF,
+                seed=scale.seed,
+            ),
+            corpus,
+        )
+        adapter = (
+            FeedbackWeightAdapter(cloud.placement, cloud.transport.meter)
+            if adaptive
+            else None
+        )
+
+        def hook(now: float) -> None:
+            cloud.run_cycle(now)
+            if adapter is not None:
+                adapter.adapt(now)
+
+        _drive(cloud, trace, cycle_hook=hook, cycle_length=scale.cycle_length)
+        mb = cloud.transport.meter.megabytes_per_unit_time(scale.duration_minutes)
+        return cloud, adapter, mb
+
+    _, _, fixed_mb = run(adaptive=False)
+    cloud, adapter, adaptive_mb = run(adaptive=True)
+    return AdaptiveWeightsResult(
+        fixed_mb=fixed_mb,
+        adaptive_mb=adaptive_mb,
+        final_weights=cloud.placement.computer.weights.as_dict(),
+        steps=len(adapter.history),
+    )
+
+
+# ----------------------------------------------------------------------
+# Failure resilience
+# ----------------------------------------------------------------------
+@dataclass
+class FailureResilienceResult:
+    """Post-failure service quality, with vs without the buddy replica."""
+
+    columns: Tuple[str, ...] = (
+        "variant",
+        "cloud hit rate (%)",
+        "origin fetches",
+        "directory repairs",
+    )
+    rows: List[Tuple] = field(default_factory=list)
+
+    def row(self, variant: str) -> Tuple:
+        """The row for ``variant``."""
+        for row in self.rows:
+            if row[0] == variant:
+                return row
+        raise KeyError(variant)
+
+    def render(self) -> str:
+        table = Table(list(self.columns), precision=2)
+        for row in self.rows:
+            table.add_row(*row)
+        return "\n".join(
+            [
+                format_figure_header(
+                    "Extension", "value of lazy directory replication under failure"
+                ),
+                table.render(),
+            ]
+        )
+
+
+def failure_resilience_value(scale: FigureScale = SMALL_SCALE) -> FailureResilienceResult:
+    """Measure what the buddy replica buys after a beacon-point crash.
+
+    Two identical clouds are warmed on the first half of a trace; the
+    busiest beacon point then crashes. One cloud has synced its replicas
+    (the paper's lazy replication); the other's replicas are discarded
+    before the crash (a strawman without the extension). The second half
+    of the trace measures post-failure service quality.
+    """
+    corpus, trace = _sydney(scale)
+    half_time = scale.duration_minutes / 2.0
+    first = [r for r in trace.requests if r.time < half_time]
+    second = [r for r in trace.requests if r.time >= half_time]
+    result = FailureResilienceResult()
+
+    for variant in ("with replica", "without replica"):
+        cloud = CacheCloud(
+            CloudConfig(
+                num_caches=10,
+                num_rings=5,
+                cycle_length=scale.cycle_length,
+                placement=PlacementScheme.AD_HOC,
+                failure_resilience=True,
+                seed=scale.seed,
+            ),
+            corpus,
+        )
+        for record in first:
+            cloud.handle_request(record.cache_id, record.doc_id, record.time)
+        cloud.run_cycle(half_time)  # includes the lazy replica sync
+        if variant == "without replica":
+            cloud.failure_manager._replicas.clear()
+        victim = max(
+            cloud.beacons, key=lambda c: len(cloud.beacons[c].directory)
+        )
+        cloud.fail_cache(victim, half_time)
+
+        # Measure the post-failure window only.
+        for cache in cloud.caches:
+            from repro.edgecache.stats import CacheStats
+
+            cache.stats = CacheStats()
+        fetches_before = cloud.origin.fetches_served
+        repairs_before = cloud.directory_repairs
+        survivors = [c for c in range(10) if c != victim]
+        for record in second:
+            requester = record.cache_id
+            if requester == victim:
+                requester = survivors[record.doc_id % len(survivors)]
+            cloud.handle_request(requester, record.doc_id, record.time)
+        stats = cloud.aggregate_stats()
+        result.rows.append(
+            (
+                variant,
+                100.0 * stats.cloud_hit_rate,
+                cloud.origin.fetches_served - fetches_before,
+                cloud.directory_repairs - repairs_before,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Client latency
+# ----------------------------------------------------------------------
+@dataclass
+class LatencyComparisonResult:
+    """Mean client latency per placement scheme on a real topology."""
+
+    columns: Tuple[str, ...] = (
+        "scheme",
+        "mean latency (ms)",
+        "local hit (%)",
+        "cloud hit (%)",
+    )
+    rows: List[Tuple] = field(default_factory=list)
+
+    def latency(self, scheme: str) -> float:
+        """Mean latency for ``scheme``."""
+        for row in self.rows:
+            if row[0] == scheme:
+                return row[1]
+        raise KeyError(scheme)
+
+    def render(self) -> str:
+        table = Table(list(self.columns), precision=2)
+        for row in self.rows:
+            table.add_row(*row)
+        return "\n".join(
+            [
+                format_figure_header(
+                    "Extension", "client latency by placement scheme (far origin)"
+                ),
+                table.render(),
+            ]
+        )
+
+
+def client_latency_comparison(scale: FigureScale = SMALL_SCALE) -> LatencyComparisonResult:
+    """Mean client-perceived latency per placement scheme.
+
+    A metro-clustered topology puts the caches ~5 ms apart and the origin
+    ~140 ms away, so the latency ordering exposes where each scheme's
+    requests are actually served: in-cloud (cheap) or at the origin
+    (expensive). The paper's conclusion claims utility placement minimizes
+    client latency; the isolated-caches baseline shows the cost of no
+    cooperation at all.
+    """
+    from repro.network.origin import ORIGIN_NODE_ID, OriginServer
+    from repro.network.transport import Transport
+
+    corpus, trace = _sydney(scale)
+    rng = random.Random(scale.seed)
+    topology = EuclideanTopology.random(
+        10, rng, extent=100.0, num_clusters=1, cluster_spread=50.0
+    )
+    topology.add_node(ORIGIN_NODE_ID, (2_000.0, 2_000.0))  # a far-away origin
+
+    result = LatencyComparisonResult()
+    schemes = [
+        ("ad hoc", PlacementScheme.AD_HOC, True),
+        ("utility", PlacementScheme.UTILITY, True),
+        ("expiration age", PlacementScheme.EXPIRATION_AGE, True),
+        ("beacon", PlacementScheme.BEACON, True),
+        ("no cooperation", PlacementScheme.AD_HOC, False),
+    ]
+    for label, placement, cooperation in schemes:
+        cloud = CacheCloud(
+            CloudConfig(
+                num_caches=10,
+                num_rings=5,
+                cycle_length=scale.cycle_length,
+                placement=placement,
+                utility_weights=WEIGHTS_DSCC_OFF,
+                cooperation=cooperation,
+                seed=scale.seed,
+            ),
+            corpus,
+            origin=OriginServer(corpus),
+            transport=Transport(topology=topology),
+        )
+        _drive(cloud, trace, cycle_hook=cloud.run_cycle, cycle_length=scale.cycle_length)
+        stats = cloud.aggregate_stats()
+        result.rows.append(
+            (
+                label,
+                stats.mean_latency_ms,
+                100.0 * stats.local_hit_rate,
+                100.0 * stats.cloud_hit_rate,
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous capabilities
+# ----------------------------------------------------------------------
+@dataclass
+class CapabilityProportionalityResult:
+    """How well each scheme matches load to machine capability."""
+
+    capabilities: List[float]
+    static_loads: Dict[int, float] = field(default_factory=dict)
+    dynamic_loads: Dict[int, float] = field(default_factory=dict)
+
+    def _imbalance(self, loads: Dict[int, float]) -> float:
+        """Mean relative deviation of load-per-unit-capability from its mean."""
+        per_capability = [
+            loads[cache_id] / self.capabilities[cache_id] for cache_id in loads
+        ]
+        mean = sum(per_capability) / len(per_capability)
+        if mean == 0:
+            return 0.0
+        return sum(abs(v - mean) for v in per_capability) / (len(per_capability) * mean)
+
+    @property
+    def static_imbalance(self) -> float:
+        """Capability-normalized imbalance under static hashing."""
+        return self._imbalance(self.static_loads)
+
+    @property
+    def dynamic_imbalance(self) -> float:
+        """Capability-normalized imbalance under dynamic hashing."""
+        return self._imbalance(self.dynamic_loads)
+
+    def render(self) -> str:
+        table = Table(
+            ["cache", "capability", "static load", "dynamic load"], precision=1
+        )
+        for cache_id in sorted(self.static_loads):
+            table.add_row(
+                cache_id,
+                self.capabilities[cache_id],
+                self.static_loads[cache_id],
+                self.dynamic_loads[cache_id],
+            )
+        return "\n".join(
+            [
+                format_figure_header(
+                    "Extension", "capability-proportional load shares"
+                ),
+                table.render(),
+                f"load/capability imbalance: static={self.static_imbalance:.3f} "
+                f"dynamic={self.dynamic_imbalance:.3f}",
+            ]
+        )
+
+
+def capability_proportionality(
+    scale: FigureScale = SMALL_SCALE,
+    capabilities: Optional[List[float]] = None,
+) -> CapabilityProportionalityResult:
+    """Heterogeneous cloud: does load track capability?
+
+    §2.3 weighs each beacon point's fair share by its capability; static
+    hashing is capability-blind. Half the cloud runs on 3x machines by
+    default.
+    """
+    from repro.core.config import AssignmentScheme
+    from repro.experiments.figures import _loadbalance_config, _run, _zipf_trace
+
+    capabilities = capabilities if capabilities is not None else [3.0] * 5 + [1.0] * 5
+    if len(capabilities) != 10:
+        raise ValueError("capability experiment expects 10 caches")
+    corpus, trace = _zipf_trace(scale, num_caches=10, alpha=0.9)
+    result = CapabilityProportionalityResult(capabilities=list(capabilities))
+    for scheme in (AssignmentScheme.STATIC, AssignmentScheme.DYNAMIC):
+        config = _loadbalance_config(scheme, 10, 5, corpus, scale)
+        config.capabilities = list(capabilities)
+        run = _run(config, corpus, trace, scale.duration_minutes)
+        if scheme is AssignmentScheme.STATIC:
+            result.static_loads = dict(run.beacon_loads)
+        else:
+            result.dynamic_loads = dict(run.beacon_loads)
+    return result

@@ -1,0 +1,203 @@
+"""Generic trace-driven experiment driver.
+
+Wires a :class:`~repro.core.cloud.CacheCloud` to a request/update stream on
+the discrete-event simulator, applies a warm-up window (counters reset so
+steady-state statistics aren't polluted by the cold start), and collects the
+statistics every figure needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+from repro.core.cloud import CacheCloud
+from repro.core.config import CloudConfig
+from repro.edgecache.stats import CacheStats
+from repro.metrics.loadbalance import LoadBalanceStats, load_balance_stats
+from repro.network.bandwidth import TrafficMeter
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventPriority
+from repro.workload.documents import Corpus
+from repro.workload.trace import (
+    RequestRecord,
+    Trace,
+    TraceRecord,
+    UpdateRecord,
+    merge_streams,
+)
+
+
+class TraceFeeder:
+    """Feeds a merged trace stream into a cloud, one event in flight.
+
+    Scheduling the whole trace up front would materialize millions of heap
+    entries; the feeder keeps exactly one pending event and schedules the
+    next record when the current one fires.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        cloud: CacheCloud,
+        stream: Iterable[TraceRecord],
+    ) -> None:
+        self._sim = simulator
+        self._cloud = cloud
+        self._iter: Iterator[TraceRecord] = iter(stream)
+        self.records_fed = 0
+
+    def start(self) -> None:
+        """Arm the first record."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        record = next(self._iter, None)
+        if record is None:
+            return
+        priority = (
+            EventPriority.UPDATE
+            if isinstance(record, UpdateRecord)
+            else EventPriority.REQUEST
+        )
+        self._sim.schedule_at(
+            max(record.time, self._sim.now),
+            lambda r=record: self._process(r),
+            priority=priority,
+            label="trace-record",
+        )
+
+    def _process(self, record: TraceRecord) -> None:
+        self.records_fed += 1
+        if isinstance(record, UpdateRecord):
+            self._cloud.handle_update(record.doc_id, self._sim.now)
+        else:
+            self._cloud.handle_request(record.cache_id, record.doc_id, self._sim.now)
+        self._schedule_next()
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the figure reproductions report."""
+
+    config: CloudConfig
+    duration: float
+    warmup: float
+    #: Post-warm-up beacon load per unit time, keyed by cache id.
+    beacon_loads: Dict[int, float] = field(default_factory=dict)
+    load_stats: Optional[LoadBalanceStats] = None
+    traffic: Optional[TrafficMeter] = None
+    network_mb_per_unit: float = 0.0
+    docs_stored_percent: float = 0.0
+    stats: CacheStats = field(default_factory=CacheStats)
+    requests: int = 0
+    updates: int = 0
+    cloud: Optional[CacheCloud] = None
+
+    @property
+    def measured_span(self) -> float:
+        """Length of the post-warm-up measurement window."""
+        return self.duration - self.warmup
+
+    def sorted_loads(self) -> list:
+        """Beacon loads in decreasing order (the figures' x-axis order)."""
+        return sorted(self.beacon_loads.values(), reverse=True)
+
+
+def run_experiment(
+    config: CloudConfig,
+    corpus: Corpus,
+    requests: Iterable[RequestRecord],
+    updates: Iterable[UpdateRecord],
+    duration: float,
+    warmup: Optional[float] = None,
+    cloud: Optional[CacheCloud] = None,
+) -> ExperimentResult:
+    """Run one trace-driven experiment.
+
+    Parameters
+    ----------
+    config:
+        Cloud configuration (schemes, sizes, weights).
+    corpus:
+        Document universe shared by cloud and workload.
+    requests / updates:
+        Time-sorted record streams (lazy iterators are fine).
+    duration:
+        Simulated minutes to run.
+    warmup:
+        Measurement counters reset at this time; defaults to one sub-range
+        cycle (so the dynamic scheme has rebalanced at least once, and the
+        static scheme gets the identical window).
+    cloud:
+        Pre-built cloud (for experiments that pre-populate or fail caches);
+        built from ``config``/``corpus`` when omitted.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if warmup is None:
+        warmup = min(config.cycle_length, duration / 2.0)
+    if not 0 <= warmup < duration:
+        raise ValueError(f"warmup {warmup} must lie in [0, duration)")
+
+    simulator = Simulator()
+    if cloud is None:
+        cloud = CacheCloud(config, corpus)
+    cloud.attach_cycles(simulator)
+    feeder = TraceFeeder(simulator, cloud, merge_streams(requests, updates))
+    feeder.start()
+
+    def _reset_counters() -> None:
+        cloud.reset_beacon_totals()
+        cloud.transport.meter.reset()
+        for cache in cloud.caches:
+            cache.stats = CacheStats()
+
+    if warmup > 0:
+        simulator.schedule_at(
+            warmup, _reset_counters, priority=EventPriority.METRICS, label="warmup-reset"
+        )
+    simulator.run_until(duration)
+
+    span = duration - warmup
+    beacon_loads = {
+        cache_id: total / span for cache_id, total in cloud.beacon_loads().items()
+    }
+    meter = cloud.transport.meter
+    result = ExperimentResult(
+        config=config,
+        duration=duration,
+        warmup=warmup,
+        beacon_loads=beacon_loads,
+        load_stats=load_balance_stats(list(beacon_loads.values())),
+        traffic=meter,
+        network_mb_per_unit=meter.megabytes_per_unit_time(span),
+        docs_stored_percent=cloud.docs_stored_fraction() * 100.0,
+        stats=cloud.aggregate_stats(),
+        requests=cloud.requests_handled,
+        updates=cloud.updates_handled,
+        cloud=cloud,
+    )
+    return result
+
+
+def run_trace(
+    config: CloudConfig,
+    corpus: Corpus,
+    trace: Union[Trace, Iterable[TraceRecord]],
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+) -> ExperimentResult:
+    """Convenience wrapper for a materialized :class:`Trace`."""
+    if isinstance(trace, Trace):
+        if duration is None:
+            duration = trace.duration + 1e-9 or 1.0
+        return run_experiment(
+            config, corpus, trace.requests, trace.updates, duration, warmup
+        )
+    if duration is None:
+        raise ValueError("duration is required for a raw record stream")
+    records = list(trace)
+    requests = [r for r in records if isinstance(r, RequestRecord)]
+    updates = [r for r in records if isinstance(r, UpdateRecord)]
+    return run_experiment(config, corpus, requests, updates, duration, warmup)

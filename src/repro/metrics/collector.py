@@ -1,0 +1,125 @@
+"""Periodic metrics collection from a running cloud.
+
+The figure experiments only need end-of-run aggregates, but time-resolved
+views (how fast does the dynamic scheme react to a flash crowd? how does
+the hit rate climb during warm-up?) need periodic sampling. The
+:class:`CloudMonitor` hooks a :class:`~repro.simulation.engine.Simulator`
+and snapshots a cloud's key statistics every ``period``, producing
+:class:`~repro.metrics.timeseries.TimeSeries` per metric.
+
+Sampled metrics (per window, not cumulative):
+
+* ``beacon_cov`` / ``beacon_peak_to_mean`` — imbalance of the beacon load
+  accrued *within* the window.
+* ``cloud_hit_rate`` — fraction of the window's requests served in-cloud.
+* ``network_mb`` — MB transferred during the window.
+* ``docs_stored`` — resident documents across all caches (gauge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.edgecache.stats import CacheStats
+from repro.metrics.loadbalance import coefficient_of_variation, peak_to_mean
+from repro.metrics.timeseries import TimeSeries
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventPriority
+from repro.simulation.process import PeriodicProcess
+
+_METRICS = (
+    "beacon_cov",
+    "beacon_peak_to_mean",
+    "cloud_hit_rate",
+    "network_mb",
+    "docs_stored",
+)
+
+
+class CloudMonitor:
+    """Samples windowed cloud statistics on a fixed period."""
+
+    def __init__(self, cloud, simulator: Simulator, period: float) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        self.cloud = cloud
+        self.period = period
+        self.series: Dict[str, TimeSeries] = {
+            name: TimeSeries(name) for name in _METRICS
+        }
+        self._last_loads: Dict[int, float] = {}
+        self._last_bytes = 0
+        self._last_stats = CacheStats()
+        self._process = PeriodicProcess(
+            simulator,
+            period,
+            self._sample,
+            priority=EventPriority.METRICS,
+            label="cloud-monitor",
+        )
+
+    def start(self, first_at: Optional[float] = None) -> None:
+        """Arm the monitor (first sample at ``first_at`` or now+period)."""
+        self._baseline()
+        self._process.start(first_at=first_at)
+
+    def stop(self) -> None:
+        """Disarm the monitor."""
+        self._process.stop()
+
+    @property
+    def samples(self) -> int:
+        """Number of windows sampled so far."""
+        return len(self.series["network_mb"])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _baseline(self) -> None:
+        self._last_loads = dict(self.cloud.beacon_loads())
+        self._last_bytes = self.cloud.transport.meter.total_bytes
+        self._last_stats = self._aggregate()
+
+    def _aggregate(self) -> CacheStats:
+        total = CacheStats()
+        for cache in self.cloud.caches:
+            total.merge(cache.stats)
+        return total
+
+    def _sample(self, now: float) -> None:
+        loads = self.cloud.beacon_loads()
+        deltas = [
+            loads[cache_id] - self._last_loads.get(cache_id, 0.0)
+            for cache_id in loads
+        ]
+        if any(delta > 0 for delta in deltas):
+            self.series["beacon_cov"].append(now, coefficient_of_variation(deltas))
+            self.series["beacon_peak_to_mean"].append(now, peak_to_mean(deltas))
+        else:
+            self.series["beacon_cov"].append(now, 0.0)
+            self.series["beacon_peak_to_mean"].append(now, 1.0)
+        self._last_loads = dict(loads)
+
+        stats = self._aggregate()
+        window_requests = stats.requests - self._last_stats.requests
+        window_served = (
+            stats.local_hits
+            + stats.cloud_hits
+            - self._last_stats.local_hits
+            - self._last_stats.cloud_hits
+        )
+        hit_rate = window_served / window_requests if window_requests else 0.0
+        self.series["cloud_hit_rate"].append(now, hit_rate)
+        self._last_stats = stats
+
+        total_bytes = self.cloud.transport.meter.total_bytes
+        self.series["network_mb"].append(
+            now, (total_bytes - self._last_bytes) / (1024.0 * 1024.0)
+        )
+        self._last_bytes = total_bytes
+
+        resident = sum(len(cache.storage) for cache in self.cloud.caches)
+        self.series["docs_stored"].append(now, float(resident))
+
+    def __repr__(self) -> str:
+        return f"CloudMonitor(period={self.period}, samples={self.samples})"

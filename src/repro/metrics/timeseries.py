@@ -1,0 +1,99 @@
+"""Simple time series and windowed counters for experiment instrumentation."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """Append-only (time, value) series with window aggregation.
+
+    Timestamps must be non-decreasing (simulation time only moves forward),
+    which keeps range queries a binary search.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        """Record ``value`` at ``time``; time must not regress."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {time} after {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def items(self) -> List[Tuple[float, float]]:
+        """All (time, value) pairs."""
+        return list(zip(self._times, self._values))
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """Pairs with ``start <= time < end``."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def sum_in(self, start: float, end: float) -> float:
+        """Sum of values in ``[start, end)``."""
+        return sum(value for _, value in self.window(start, end))
+
+    def mean_in(self, start: float, end: float) -> Optional[float]:
+        """Mean of values in ``[start, end)``, or None when empty."""
+        points = self.window(start, end)
+        if not points:
+            return None
+        return sum(value for _, value in points) / len(points)
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        """Most recent (time, value), or None when empty."""
+        if not self._times:
+            return None
+        return self._times[-1], self._values[-1]
+
+
+class WindowedCounter:
+    """Event counter bucketed into fixed-width time windows.
+
+    Used to build per-unit-time load series (e.g. beacon load per minute)
+    without storing every event.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = window
+        self._buckets: List[float] = []
+
+    def record(self, time: float, weight: float = 1.0) -> None:
+        """Add ``weight`` to the bucket containing ``time``."""
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        index = int(time / self.window)
+        if index >= len(self._buckets):
+            self._buckets.extend([0.0] * (index + 1 - len(self._buckets)))
+        self._buckets[index] += weight
+
+    def buckets(self) -> List[float]:
+        """Per-window totals (copy)."""
+        return list(self._buckets)
+
+    def rate_series(self) -> List[float]:
+        """Per-window event *rates* (totals divided by the window width)."""
+        return [total / self.window for total in self._buckets]
+
+    def total(self) -> float:
+        """Sum across all windows."""
+        return sum(self._buckets)
+
+    def mean_rate(self) -> float:
+        """Mean events per time unit over the observed span."""
+        if not self._buckets:
+            return 0.0
+        return self.total() / (len(self._buckets) * self.window)

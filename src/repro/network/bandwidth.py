@@ -1,0 +1,91 @@
+"""Traffic metering by category.
+
+Figures 8 and 9 chart "network load (MBs transferred per unit time)" inside a
+cache cloud under the three placement schemes. The meter attributes every
+transferred byte to one of the traffic categories below so experiments can
+report both the total and its decomposition.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class TrafficCategory(enum.Enum):
+    """Where a transferred byte came from / went to."""
+
+    #: Origin server -> beacon point: the single per-cloud update transfer.
+    UPDATE_SERVER_TO_BEACON = "update_server_to_beacon"
+    #: Beacon point -> document holders: intra-cloud update fan-out.
+    UPDATE_FANOUT = "update_fanout"
+    #: Peer cache -> requesting cache on a local miss served in-cloud.
+    PEER_TRANSFER = "peer_transfer"
+    #: Origin server -> cache on a group miss.
+    ORIGIN_FETCH = "origin_fetch"
+    #: Lookup requests/responses, sub-range announcements, etc.
+    CONTROL = "control"
+    #: Beacon-point directory records migrating after a sub-range change.
+    DIRECTORY_MIGRATION = "directory_migration"
+
+
+class TrafficMeter:
+    """Accumulates bytes per :class:`TrafficCategory`.
+
+    The meter also tracks the observation interval so callers can normalize
+    to bytes (or MB) per unit time, which is the paper's y-axis.
+    """
+
+    def __init__(self) -> None:
+        self._bytes: Dict[TrafficCategory, int] = {c: 0 for c in TrafficCategory}
+        self._messages: Dict[TrafficCategory, int] = {c: 0 for c in TrafficCategory}
+
+    def record(self, category: TrafficCategory, num_bytes: int) -> None:
+        """Attribute ``num_bytes`` (one message) to ``category``."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        self._bytes[category] += num_bytes
+        self._messages[category] += 1
+
+    def bytes_for(self, category: TrafficCategory) -> int:
+        """Total bytes recorded under ``category``."""
+        return self._bytes[category]
+
+    def messages_for(self, category: TrafficCategory) -> int:
+        """Total messages recorded under ``category``."""
+        return self._messages[category]
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes across categories."""
+        return sum(self._bytes.values())
+
+    def total_data_bytes(self) -> int:
+        """Bytes excluding CONTROL — the document-payload traffic."""
+        return self.total_bytes - self._bytes[TrafficCategory.CONTROL]
+
+    def megabytes_per_unit_time(self, duration: float) -> float:
+        """Total MB transferred per unit time over ``duration`` time units."""
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        return self.total_bytes / (1024.0 * 1024.0) / duration
+
+    def breakdown(self) -> Dict[str, int]:
+        """Category-name -> bytes dictionary (for reports)."""
+        return {category.value: count for category, count in self._bytes.items()}
+
+    def merge(self, other: "TrafficMeter") -> None:
+        """Fold another meter's counters into this one."""
+        for category in TrafficCategory:
+            self._bytes[category] += other._bytes[category]
+            self._messages[category] += other._messages[category]
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for category in TrafficCategory:
+            self._bytes[category] = 0
+            self._messages[category] = 0
+
+    def __repr__(self) -> str:
+        mb = self.total_bytes / (1024.0 * 1024.0)
+        return f"TrafficMeter(total={mb:.2f} MB)"

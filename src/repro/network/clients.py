@@ -1,0 +1,157 @@
+"""Client population model: who sends requests to which edge cache.
+
+The paper's traces address edge caches directly; the layer beneath — real
+clients scattered across the network, each served by its nearest cache —
+determines how request volume distributes over caches. This module models
+that layer so experiments can derive *realistic, non-uniform* per-cache
+request weights (feeding ``WorkloadConfig.cache_weights``) instead of
+assuming a uniform split, and so client-perceived latency includes the
+client→cache hop.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.network.topology import EuclideanTopology
+
+
+@dataclass(frozen=True)
+class Client:
+    """One client: a position and its assigned edge cache."""
+
+    client_id: int
+    position: Tuple[float, float]
+    cache_id: int
+    latency_ms: float  # client -> assigned cache
+
+
+class ClientPopulation:
+    """Clients placed on a Euclidean topology, each mapped to a cache.
+
+    Parameters
+    ----------
+    topology:
+        Must contain every cache node in ``cache_nodes``.
+    cache_nodes:
+        Candidate edge caches.
+    num_clients:
+        Population size.
+    hotspot_fraction:
+        Fraction of clients concentrated around randomly chosen cache sites
+        (urban hot-spots); the rest spread uniformly. 0 gives a uniform
+        population, 1 a fully clustered one.
+    hotspot_weights:
+        Optional relative popularity of each cache's metro area (in
+        ``cache_nodes`` order) when placing hot-spot clients; uniform when
+        omitted. Skewed weights model big-city vs small-town caches.
+    """
+
+    def __init__(
+        self,
+        topology: EuclideanTopology,
+        cache_nodes: Sequence[int],
+        num_clients: int,
+        hotspot_fraction: float = 0.6,
+        extent: float = 100.0,
+        spread: float = 8.0,
+        hotspot_weights: Optional[Sequence[float]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not cache_nodes:
+            raise ValueError("need at least one cache node")
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if hotspot_weights is not None:
+            if len(hotspot_weights) != len(cache_nodes):
+                raise ValueError(
+                    "hotspot_weights must have one entry per cache node"
+                )
+            if any(w < 0 for w in hotspot_weights) or sum(hotspot_weights) <= 0:
+                raise ValueError("hotspot_weights must be non-negative, sum > 0")
+        self.topology = topology
+        self.cache_nodes = list(cache_nodes)
+        rng = rng if rng is not None else random.Random(0)
+        self.clients: List[Client] = []
+        for client_id in range(num_clients):
+            if rng.random() < hotspot_fraction:
+                if hotspot_weights is None:
+                    center = rng.choice(self.cache_nodes)
+                else:
+                    center = rng.choices(
+                        self.cache_nodes, weights=list(hotspot_weights), k=1
+                    )[0]
+                cx, cy = topology.position(center)
+                position = (cx + rng.gauss(0, spread), cy + rng.gauss(0, spread))
+            else:
+                position = (rng.uniform(0, extent), rng.uniform(0, extent))
+            cache_id, latency = self._nearest_cache(position)
+            self.clients.append(
+                Client(
+                    client_id=client_id,
+                    position=position,
+                    cache_id=cache_id,
+                    latency_ms=latency,
+                )
+            )
+
+    def _nearest_cache(self, position: Tuple[float, float]) -> Tuple[int, float]:
+        import math
+
+        best_cache, best_latency = None, float("inf")
+        for cache in self.cache_nodes:
+            cx, cy = self.topology.position(cache)
+            distance = math.hypot(position[0] - cx, position[1] - cy)
+            latency = (
+                self.topology.base_latency_ms + distance * self.topology.ms_per_unit
+            )
+            if latency < best_latency:
+                best_cache, best_latency = cache, latency
+        return best_cache, best_latency
+
+    # ------------------------------------------------------------------
+    # Derived workload inputs
+    # ------------------------------------------------------------------
+    def clients_per_cache(self) -> Dict[int, int]:
+        """cache id -> number of assigned clients (0 included)."""
+        counts = {cache: 0 for cache in self.cache_nodes}
+        for client in self.clients:
+            counts[client.cache_id] += 1
+        return counts
+
+    def cache_weights(self) -> List[float]:
+        """Per-cache request weights, in ``cache_nodes`` order.
+
+        Proportional to assigned clients, normalized to sum to 1; every
+        cache keeps a tiny floor so the workload generator never divides a
+        zero-probability bucket.
+        """
+        counts = self.clients_per_cache()
+        floored = [max(counts[cache], 1) for cache in self.cache_nodes]
+        total = float(sum(floored))
+        return [count / total for count in floored]
+
+    def mean_access_latency_ms(self) -> float:
+        """Mean client -> assigned-cache latency (the last-mile cost)."""
+        return sum(c.latency_ms for c in self.clients) / len(self.clients)
+
+    def assignment_is_nearest(self) -> bool:
+        """Verify every client maps to its true nearest cache (invariant)."""
+        return all(
+            self._nearest_cache(client.position)[0] == client.cache_id
+            for client in self.clients
+        )
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientPopulation(clients={len(self.clients)}, "
+            f"caches={len(self.cache_nodes)}, "
+            f"mean_access={self.mean_access_latency_ms():.1f}ms)"
+        )

@@ -1,0 +1,176 @@
+"""The discrete-event simulation engine.
+
+A classic calendar-queue-free DES loop built on :mod:`heapq`. The engine is
+single-threaded and deterministic: events with equal timestamps dispatch in
+(priority, insertion) order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.events import Event, EventPriority
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Event loop driving a simulation run.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: print("hello at t=5"))
+        sim.run_until(10.0)
+
+    The engine exposes both absolute (:meth:`schedule_at`) and relative
+    (:meth:`schedule_in`) scheduling, lazy cancellation, and bounded runs.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimulationClock(start_time)
+        self._queue: List[Event] = []
+        self._dispatched = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.clock.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def dispatched_events(self) -> int:
+        """Number of events executed so far."""
+        return self._dispatched
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is drained."""
+        self._drop_cancelled_head()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: EventPriority = EventPriority.REQUEST,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        Scheduling at the current instant is allowed (the event runs within
+        the current run loop); scheduling in the past is an error.
+        """
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: now={self.clock.now}, t={time}"
+            )
+        event = Event(time, callback, priority=priority, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: EventPriority = EventPriority.REQUEST,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` (must be >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(
+            self.clock.now + delay, callback, priority=priority, label=label
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request the current :meth:`run_until`/:meth:`run` loop to exit."""
+        self._stop_requested = True
+
+    def run_until(self, end_time: float, inclusive: bool = True) -> int:
+        """Dispatch events with time <= ``end_time`` (or < when not inclusive).
+
+        The clock is left at ``end_time`` even if the queue drains earlier,
+        so that periodic metric windows are well defined. Returns the number
+        of events dispatched by this call.
+        """
+        if end_time < self.clock.now:
+            raise SimulationError(
+                f"end_time {end_time} is before current time {self.clock.now}"
+            )
+        dispatched_before = self._dispatched
+        self._running = True
+        self._stop_requested = False
+        try:
+            while self._queue and not self._stop_requested:
+                self._drop_cancelled_head()
+                if not self._queue:
+                    break
+                head = self._queue[0]
+                beyond = head.time > end_time if inclusive else head.time >= end_time
+                if beyond:
+                    break
+                heapq.heappop(self._queue)
+                self.clock.advance_to(head.time)
+                head.callback()
+                self._dispatched += 1
+            self.clock.advance_to(max(self.clock.now, end_time))
+        finally:
+            self._running = False
+        return self._dispatched - dispatched_before
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Dispatch until the queue drains (or ``max_events`` is reached)."""
+        dispatched_before = self._dispatched
+        self._running = True
+        self._stop_requested = False
+        try:
+            while self._queue and not self._stop_requested:
+                if (
+                    max_events is not None
+                    and self._dispatched - dispatched_before >= max_events
+                ):
+                    break
+                self._drop_cancelled_head()
+                if not self._queue:
+                    break
+                head = heapq.heappop(self._queue)
+                self.clock.advance_to(head.time)
+                head.callback()
+                self._dispatched += 1
+        finally:
+            self._running = False
+        return self._dispatched - dispatched_before
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled_head(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.clock.now:.4f}, pending={len(self._queue)}, "
+            f"dispatched={self._dispatched})"
+        )

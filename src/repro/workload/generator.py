@@ -1,0 +1,163 @@
+"""Synthetic trace generation (the paper's Zipf-0.9 dataset, generalized).
+
+The paper's synthetic dataset has 25 000 unique documents with both accesses
+and invalidations drawn from Zipf(0.9). This module generates such traces as
+homogeneous Poisson processes:
+
+* Requests arrive cloud-wide at ``num_caches * request_rate_per_cache`` per
+  minute; each arrival lands on a cache (uniform by default, weighted if a
+  per-cache load profile is supplied) and targets a document drawn from the
+  request Zipf distribution.
+* Updates arrive at ``update_rate`` per minute, targeting a document drawn
+  from the update Zipf distribution.
+
+Document ids are decoupled from popularity ranks by a random permutation, so
+hashing schemes cannot accidentally correlate with popularity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.simulation.rng import RandomStreams
+from repro.workload.trace import RequestRecord, Trace, UpdateRecord
+from repro.workload.zipf import ZipfSampler, permuted_ranks
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of a synthetic workload.
+
+    Rates are per simulated minute, matching the paper's "per unit time".
+    ``alpha_updates`` defaults to ``alpha_requests`` (the paper draws both
+    from the same Zipf parameter).
+    """
+
+    num_documents: int = 25_000
+    num_caches: int = 10
+    request_rate_per_cache: float = 200.0
+    update_rate: float = 195.0
+    alpha_requests: float = 0.9
+    alpha_updates: Optional[float] = None
+    duration_minutes: float = 120.0
+    seed: int = 0
+    cache_weights: Optional[Sequence[float]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_documents <= 0:
+            raise ValueError("num_documents must be positive")
+        if self.num_caches <= 0:
+            raise ValueError("num_caches must be positive")
+        if self.request_rate_per_cache < 0:
+            raise ValueError("request_rate_per_cache must be >= 0")
+        if self.update_rate < 0:
+            raise ValueError("update_rate must be >= 0")
+        if self.duration_minutes <= 0:
+            raise ValueError("duration_minutes must be positive")
+        if self.cache_weights is not None and len(self.cache_weights) != self.num_caches:
+            raise ValueError(
+                f"cache_weights has {len(self.cache_weights)} entries for "
+                f"{self.num_caches} caches"
+            )
+
+    @property
+    def effective_alpha_updates(self) -> float:
+        """Update-skew parameter, defaulting to the request skew."""
+        return self.alpha_requests if self.alpha_updates is None else self.alpha_updates
+
+
+def poisson_arrivals(
+    rate_per_minute: float, duration: float, rng: random.Random
+) -> Iterator[float]:
+    """Lazy homogeneous Poisson arrival times in ``[0, duration)``."""
+    if rate_per_minute <= 0:
+        return
+    t = rng.expovariate(rate_per_minute)
+    while t < duration:
+        yield t
+        t += rng.expovariate(rate_per_minute)
+
+
+class SyntheticTraceGenerator:
+    """Generates Zipf request/update traces per a :class:`WorkloadConfig`.
+
+    All randomness flows through named streams derived from ``config.seed``,
+    so the request trace is identical across runs that differ only in, say,
+    the hashing scheme under test (common random numbers).
+    """
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._streams = RandomStreams(config.seed)
+        perm_rng = self._streams.get("popularity-permutation")
+        # rank -> doc_id for requests; an independent permutation for updates
+        # would decorrelate read and write skew, but the paper draws both from
+        # the same Zipf over the same documents, so one permutation is shared.
+        self._rank_to_doc: List[int] = permuted_ranks(config.num_documents, perm_rng)
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def requests(self, arrival_process=None) -> Iterator[RequestRecord]:
+        """Lazy time-ordered stream of request records.
+
+        ``arrival_process`` optionally overrides the homogeneous Poisson
+        arrivals with any :class:`repro.workload.arrivals.ArrivalProcess`
+        (e.g. an MMPP for burstiness studies); document/cache selection is
+        unchanged, so the popularity structure stays comparable.
+        """
+        cfg = self.config
+        total_rate = cfg.num_caches * cfg.request_rate_per_cache
+        arrival_rng = self._streams.get("request-arrivals")
+        doc_rng = self._streams.get("request-docs")
+        cache_rng = self._streams.get("request-caches")
+        sampler = ZipfSampler(cfg.num_documents, cfg.alpha_requests, doc_rng)
+        weights = list(cfg.cache_weights) if cfg.cache_weights is not None else None
+        cache_ids = list(range(cfg.num_caches))
+        if arrival_process is not None:
+            arrival_times = arrival_process.arrivals(
+                cfg.duration_minutes, arrival_rng
+            )
+        else:
+            arrival_times = poisson_arrivals(
+                total_rate, cfg.duration_minutes, arrival_rng
+            )
+        for t in arrival_times:
+            doc_id = self._rank_to_doc[sampler.sample()]
+            if weights is None:
+                cache_id = cache_rng.randrange(cfg.num_caches)
+            else:
+                cache_id = cache_rng.choices(cache_ids, weights=weights, k=1)[0]
+            yield RequestRecord(time=t, cache_id=cache_id, doc_id=doc_id)
+
+    def updates(self) -> Iterator[UpdateRecord]:
+        """Lazy time-ordered stream of update records."""
+        cfg = self.config
+        arrival_rng = self._streams.get("update-arrivals")
+        doc_rng = self._streams.get("update-docs")
+        sampler = ZipfSampler(
+            cfg.num_documents, cfg.effective_alpha_updates, doc_rng
+        )
+        for t in poisson_arrivals(cfg.update_rate, cfg.duration_minutes, arrival_rng):
+            yield UpdateRecord(time=t, doc_id=self._rank_to_doc[sampler.sample()])
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def build_trace(self) -> Trace:
+        """Materialize the full trace (for tests and trace files)."""
+        return Trace(requests=list(self.requests()), updates=list(self.updates()))
+
+    def doc_for_rank(self, rank: int) -> int:
+        """Which document id currently holds popularity ``rank`` (0 = hottest)."""
+        return self._rank_to_doc[rank]
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"SyntheticTraceGenerator(docs={cfg.num_documents}, "
+            f"caches={cfg.num_caches}, alpha={cfg.alpha_requests}, "
+            f"update_rate={cfg.update_rate}/min)"
+        )

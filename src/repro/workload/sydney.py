@@ -1,0 +1,229 @@
+"""Sydney-like trace synthesis.
+
+The paper's second dataset is a 24-hour access/update trace captured from the
+IBM 2000 Sydney Olympic Games web site (~52 000 unique documents). That trace
+is proprietary and unavailable, so this module synthesizes a trace with the
+structural properties that drive the paper's results:
+
+* **Heavy-tailed popularity** — Zipf-like with a moderately high parameter
+  (sporting-event sites are strongly skewed toward a few hot pages).
+* **Diurnal envelope** — the request rate follows a day/night cycle.
+* **Popularity drift** — the hot set rotates across *epochs* (event sessions):
+  the medal table is hot during one session, a match page during another.
+  This drift is exactly what static hashing cannot adapt to and the dynamic
+  sub-range determination can (Figure 4).
+* **Flash crowds** — short multiplicative bursts on a single document.
+* **Concentrated updates** — a small "live" subset (scoreboards, medal
+  tallies) receives the bulk of the update stream.
+
+The defaults are scaled down (documents, duration) so the experiments run on
+a laptop; the shape-level conclusions are insensitive to the scale, which is
+why the figures reproduce.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.simulation.rng import RandomStreams
+from repro.workload.trace import RequestRecord, Trace, UpdateRecord
+from repro.workload.zipf import ZipfSampler, permuted_ranks
+
+
+@dataclass
+class SydneyConfig:
+    """Parameters of the Sydney-like synthetic trace.
+
+    Defaults approximate the published trace at reduced scale. Rates are per
+    simulated minute.
+    """
+
+    num_documents: int = 52_000
+    num_caches: int = 10
+    peak_request_rate_per_cache: float = 300.0
+    base_update_rate: float = 195.0
+    alpha: float = 0.8
+    duration_minutes: float = 1440.0  # 24 hours
+    seed: int = 0
+    # Popularity drift: the top `drift_pool` ranks are re-shuffled every epoch.
+    num_epochs: int = 6
+    drift_pool: int = 2_000
+    # Diurnal envelope: rate(t) = peak * (floor + (1-floor)/2 * (1 - cos ...)).
+    diurnal_floor: float = 0.25
+    # Length of one day/night cycle. 1440 for real time; scaled-down traces
+    # set this to their duration so they still sample a full cycle instead
+    # of only the midnight trough.
+    diurnal_period_minutes: float = 1440.0
+    # Flash crowds.
+    num_flash_crowds: int = 4
+    flash_duration_minutes: float = 20.0
+    flash_multiplier: float = 8.0
+    # Updates: `live_fraction` of documents receive `live_update_share` of updates.
+    live_fraction: float = 0.02
+    live_update_share: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.num_documents <= 0:
+            raise ValueError("num_documents must be positive")
+        if self.num_caches <= 0:
+            raise ValueError("num_caches must be positive")
+        if self.duration_minutes <= 0:
+            raise ValueError("duration_minutes must be positive")
+        if not 0 < self.diurnal_floor <= 1:
+            raise ValueError("diurnal_floor must be in (0, 1]")
+        if self.diurnal_period_minutes <= 0:
+            raise ValueError("diurnal_period_minutes must be positive")
+        if self.num_epochs <= 0:
+            raise ValueError("num_epochs must be positive")
+        if not 0 < self.live_fraction <= 1:
+            raise ValueError("live_fraction must be in (0, 1]")
+        if not 0 <= self.live_update_share <= 1:
+            raise ValueError("live_update_share must be in [0, 1]")
+        if self.drift_pool > self.num_documents:
+            raise ValueError("drift_pool cannot exceed num_documents")
+
+
+class SydneyTraceGenerator:
+    """Synthesizes the Sydney-like trace described in :class:`SydneyConfig`."""
+
+    def __init__(self, config: SydneyConfig) -> None:
+        self.config = config
+        self._streams = RandomStreams(config.seed)
+        base_rng = self._streams.get("popularity-permutation")
+        base_perm = permuted_ranks(config.num_documents, base_rng)
+        self._epoch_maps = self._build_epoch_maps(base_perm)
+        self._flash_events = self._plan_flash_crowds()
+        live_rng = self._streams.get("live-set")
+        live_count = max(1, int(config.live_fraction * config.num_documents))
+        # The live (frequently updated) documents are drawn from the hot end of
+        # the base popularity order: scoreboards are both hot and volatile.
+        hot_pool = base_perm[: max(live_count * 4, live_count)]
+        self._live_docs: List[int] = live_rng.sample(hot_pool, live_count)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def _build_epoch_maps(self, base_perm: List[int]) -> List[List[int]]:
+        """Per-epoch rank->doc maps: the hot `drift_pool` prefix is reshuffled."""
+        cfg = self.config
+        rng = self._streams.get("epoch-drift")
+        maps: List[List[int]] = []
+        for _ in range(cfg.num_epochs):
+            epoch_map = list(base_perm)
+            head = epoch_map[: cfg.drift_pool]
+            rng.shuffle(head)
+            epoch_map[: cfg.drift_pool] = head
+            maps.append(epoch_map)
+        return maps
+
+    def _plan_flash_crowds(self) -> List[Tuple[float, float, int]]:
+        """Plan (start, end, rank) flash-crowd windows over the trace."""
+        cfg = self.config
+        rng = self._streams.get("flash-crowds")
+        events = []
+        for _ in range(cfg.num_flash_crowds):
+            start = rng.uniform(0.0, max(cfg.duration_minutes - cfg.flash_duration_minutes, 0.0))
+            # Flash crowds hit a mid-popularity page (a suddenly newsworthy one).
+            lo = min(100, max(1, cfg.num_documents // 10))
+            hi = max(lo + 1, min(cfg.drift_pool, cfg.num_documents))
+            rank = rng.randrange(lo, hi)
+            events.append((start, start + cfg.flash_duration_minutes, rank))
+        return sorted(events)
+
+    # ------------------------------------------------------------------
+    # Rate envelope
+    # ------------------------------------------------------------------
+    def epoch_at(self, t: float) -> int:
+        """Index of the popularity epoch containing time ``t``."""
+        cfg = self.config
+        epoch_len = cfg.duration_minutes / cfg.num_epochs
+        return min(int(t / epoch_len), cfg.num_epochs - 1)
+
+    def diurnal_factor(self, t: float) -> float:
+        """Request-rate multiplier in [floor, 1], one cycle per diurnal period."""
+        cfg = self.config
+        phase = 2.0 * math.pi * (t / cfg.diurnal_period_minutes)
+        # Cosine day/night cycle, trough at t=0 (midnight), peak at noon.
+        wave = 0.5 * (1.0 - math.cos(phase))
+        return cfg.diurnal_floor + (1.0 - cfg.diurnal_floor) * wave
+
+    def _flash_boost(self, t: float) -> Optional[int]:
+        """Rank receiving a flash-crowd boost at ``t``, if any."""
+        for start, end, rank in self._flash_events:
+            if start <= t < end:
+                return rank
+        return None
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def requests(self) -> Iterator[RequestRecord]:
+        """Lazy stream of request records (non-homogeneous Poisson, thinned)."""
+        cfg = self.config
+        peak_rate = cfg.num_caches * cfg.peak_request_rate_per_cache
+        arrival_rng = self._streams.get("request-arrivals")
+        thin_rng = self._streams.get("request-thinning")
+        doc_rng = self._streams.get("request-docs")
+        cache_rng = self._streams.get("request-caches")
+        flash_rng = self._streams.get("flash-redirect")
+        sampler = ZipfSampler(cfg.num_documents, cfg.alpha, doc_rng)
+        # Thinning bound must also cover flash-crowd amplification of the total
+        # rate; a flash crowd multiplies one page's share, adding at most
+        # (multiplier - 1) * p(rank) to the acceptance mass, bounded by 1+slack.
+        for t in _poisson(peak_rate * 1.0, cfg.duration_minutes, arrival_rng):
+            if thin_rng.random() > self.diurnal_factor(t):
+                continue
+            rank = sampler.sample()
+            boost_rank = self._flash_boost(t)
+            if boost_rank is not None:
+                # Redirect a slice of traffic to the flash page: each request
+                # flips to the flash page with a probability that multiplies
+                # its effective request rate by ~flash_multiplier.
+                extra = (cfg.flash_multiplier - 1.0) * sampler.probability(boost_rank)
+                if flash_rng.random() < min(extra, 0.5):
+                    rank = boost_rank
+            doc_id = self._epoch_maps[self.epoch_at(t)][rank]
+            cache_id = cache_rng.randrange(cfg.num_caches)
+            yield RequestRecord(time=t, cache_id=cache_id, doc_id=doc_id)
+
+    def updates(self) -> Iterator[UpdateRecord]:
+        """Lazy stream of update records concentrated on the live subset."""
+        cfg = self.config
+        arrival_rng = self._streams.get("update-arrivals")
+        pick_rng = self._streams.get("update-docs")
+        sampler = ZipfSampler(cfg.num_documents, cfg.alpha, pick_rng)
+        live = self._live_docs
+        for t in _poisson(cfg.base_update_rate, cfg.duration_minutes, arrival_rng):
+            if pick_rng.random() < cfg.live_update_share:
+                doc_id = live[pick_rng.randrange(len(live))]
+            else:
+                doc_id = self._epoch_maps[self.epoch_at(t)][sampler.sample()]
+            yield UpdateRecord(time=t, doc_id=doc_id)
+
+    def build_trace(self) -> Trace:
+        """Materialize the full trace."""
+        return Trace(requests=list(self.requests()), updates=list(self.updates()))
+
+    @property
+    def live_documents(self) -> List[int]:
+        """Document ids forming the frequently updated "live" subset."""
+        return list(self._live_docs)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"SydneyTraceGenerator(docs={cfg.num_documents}, caches={cfg.num_caches}, "
+            f"duration={cfg.duration_minutes}min, epochs={cfg.num_epochs})"
+        )
+
+
+def _poisson(rate: float, duration: float, rng: random.Random) -> Iterator[float]:
+    if rate <= 0:
+        return
+    t = rng.expovariate(rate)
+    while t < duration:
+        yield t
+        t += rng.expovariate(rate)

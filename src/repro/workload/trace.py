@@ -1,0 +1,129 @@
+"""Trace record types and containers.
+
+The simulator is trace-driven (paper §4): each cache receives requests from a
+request trace, and the origin server reads from an update trace. A *trace* is
+a time-ordered sequence of request records (which cache saw a request for
+which document) and update records (the origin invalidated/regenerated a
+document).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class RequestRecord:
+    """A client request arriving at an edge cache.
+
+    Ordering is by ``time`` first (dataclass order), so records sort into
+    trace order naturally.
+    """
+
+    time: float
+    cache_id: int
+    doc_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"time must be >= 0, got {self.time}")
+        if self.cache_id < 0:
+            raise ValueError(f"cache_id must be >= 0, got {self.cache_id}")
+        if self.doc_id < 0:
+            raise ValueError(f"doc_id must be >= 0, got {self.doc_id}")
+
+
+@dataclass(frozen=True, order=True)
+class UpdateRecord:
+    """An origin-server update (new version) of a document."""
+
+    time: float
+    doc_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"time must be >= 0, got {self.time}")
+        if self.doc_id < 0:
+            raise ValueError(f"doc_id must be >= 0, got {self.doc_id}")
+
+
+TraceRecord = Union[RequestRecord, UpdateRecord]
+
+
+class Trace:
+    """A materialized, time-sorted trace of requests and updates.
+
+    Most experiments stream records straight from a generator; this container
+    exists for tests, for writing traces to disk, and for replaying the exact
+    same trace under several configurations (common-random-numbers
+    comparisons).
+    """
+
+    def __init__(
+        self,
+        requests: Sequence[RequestRecord] = (),
+        updates: Sequence[UpdateRecord] = (),
+    ) -> None:
+        self.requests: List[RequestRecord] = sorted(requests)
+        self.updates: List[UpdateRecord] = sorted(updates)
+
+    @property
+    def duration(self) -> float:
+        """Timestamp of the latest record (0.0 for an empty trace)."""
+        last = 0.0
+        if self.requests:
+            last = max(last, self.requests[-1].time)
+        if self.updates:
+            last = max(last, self.updates[-1].time)
+        return last
+
+    def merged(self) -> Iterator[TraceRecord]:
+        """Iterate all records in global time order.
+
+        Updates sort before requests at equal timestamps so that a request
+        arriving "at the same instant" as an invalidation observes the new
+        version — the conservative choice for consistency accounting.
+        """
+        return merge_streams(self.requests, self.updates)
+
+    def request_counts_by_doc(self) -> dict:
+        """Histogram: doc_id -> number of requests (for workload validation)."""
+        counts: dict = {}
+        for record in self.requests:
+            counts[record.doc_id] = counts.get(record.doc_id, 0) + 1
+        return counts
+
+    def update_counts_by_doc(self) -> dict:
+        """Histogram: doc_id -> number of updates."""
+        counts: dict = {}
+        for record in self.updates:
+            counts[record.doc_id] = counts.get(record.doc_id, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.requests) + len(self.updates)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(requests={len(self.requests)}, updates={len(self.updates)}, "
+            f"duration={self.duration:.2f})"
+        )
+
+
+def _stream_key(record: TraceRecord) -> Tuple[float, int]:
+    # Updates (kind 0) win ties against requests (kind 1).
+    kind = 0 if isinstance(record, UpdateRecord) else 1
+    return (record.time, kind)
+
+
+def merge_streams(
+    requests: Iterable[RequestRecord], updates: Iterable[UpdateRecord]
+) -> Iterator[TraceRecord]:
+    """Merge two individually time-sorted streams into global time order.
+
+    Both inputs may be lazy iterators; the merge is itself lazy, so
+    arbitrarily long traces can be replayed in O(1) memory.
+    """
+    return heapq.merge(requests, updates, key=_stream_key)

@@ -1,0 +1,139 @@
+"""Trace transformations: compose, reshape, and slice workloads.
+
+Experiments frequently need derived traces — a regime change halfway
+through (the adaptive-weights study), a faster replay of a captured trace,
+one cloud's share of a network-wide trace. These are pure functions on
+:class:`~repro.workload.trace.Trace` so they compose and stay testable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.workload.trace import RequestRecord, Trace, UpdateRecord
+
+
+def shift(trace: Trace, offset: float) -> Trace:
+    """Translate every record by ``offset`` (>= 0 keeps times valid)."""
+    if offset < 0 and any(r.time + offset < 0 for r in trace.requests):
+        raise ValueError("shift would move records before t=0")
+    if offset < 0 and any(u.time + offset < 0 for u in trace.updates):
+        raise ValueError("shift would move records before t=0")
+    return Trace(
+        requests=[
+            RequestRecord(r.time + offset, r.cache_id, r.doc_id)
+            for r in trace.requests
+        ],
+        updates=[UpdateRecord(u.time + offset, u.doc_id) for u in trace.updates],
+    )
+
+
+def scale_time(trace: Trace, factor: float) -> Trace:
+    """Stretch (>1) or compress (<1) the time axis; rates scale inversely."""
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    return Trace(
+        requests=[
+            RequestRecord(r.time * factor, r.cache_id, r.doc_id)
+            for r in trace.requests
+        ],
+        updates=[UpdateRecord(u.time * factor, u.doc_id) for u in trace.updates],
+    )
+
+
+def clip(trace: Trace, start: float, end: float) -> Trace:
+    """Records with ``start <= time < end``, re-based to start at 0."""
+    if end <= start:
+        raise ValueError(f"empty window [{start}, {end})")
+    return Trace(
+        requests=[
+            RequestRecord(r.time - start, r.cache_id, r.doc_id)
+            for r in trace.requests
+            if start <= r.time < end
+        ],
+        updates=[
+            UpdateRecord(u.time - start, u.doc_id)
+            for u in trace.updates
+            if start <= u.time < end
+        ],
+    )
+
+
+def concatenate(traces: Sequence[Trace]) -> Trace:
+    """Play traces back to back; each starts where the previous ended."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    requests: List[RequestRecord] = []
+    updates: List[UpdateRecord] = []
+    offset = 0.0
+    for trace in traces:
+        shifted = shift(trace, offset)
+        requests.extend(shifted.requests)
+        updates.extend(shifted.updates)
+        offset += trace.duration
+    return Trace(requests=requests, updates=updates)
+
+
+def overlay(traces: Sequence[Trace]) -> Trace:
+    """Superimpose traces on a shared timeline (e.g. background + burst)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    requests: List[RequestRecord] = []
+    updates: List[UpdateRecord] = []
+    for trace in traces:
+        requests.extend(trace.requests)
+        updates.extend(trace.updates)
+    return Trace(requests=requests, updates=updates)
+
+
+def filter_documents(trace: Trace, keep: Callable[[int], bool]) -> Trace:
+    """Keep only records whose document satisfies ``keep``."""
+    return Trace(
+        requests=[r for r in trace.requests if keep(r.doc_id)],
+        updates=[u for u in trace.updates if keep(u.doc_id)],
+    )
+
+
+def restrict_caches(trace: Trace, cache_ids: Iterable[int]) -> Trace:
+    """Requests at the given caches only (updates are cloud-global, kept)."""
+    allowed = set(cache_ids)
+    if not allowed:
+        raise ValueError("need at least one cache id")
+    return Trace(
+        requests=[r for r in trace.requests if r.cache_id in allowed],
+        updates=list(trace.updates),
+    )
+
+
+def remap_caches(trace: Trace, mapping: Dict[int, int]) -> Trace:
+    """Rewrite cache ids (e.g. global node ids -> cloud-local ids).
+
+    Requests at unmapped caches are an error — silent drops would corrupt
+    load comparisons.
+    """
+    missing = {r.cache_id for r in trace.requests} - set(mapping)
+    if missing:
+        raise KeyError(f"no mapping for cache ids {sorted(missing)}")
+    return Trace(
+        requests=[
+            RequestRecord(r.time, mapping[r.cache_id], r.doc_id)
+            for r in trace.requests
+        ],
+        updates=list(trace.updates),
+    )
+
+
+def sample_requests(trace: Trace, keep_one_in: int) -> Trace:
+    """Deterministic 1-in-N thinning of the request stream.
+
+    Keeps every ``keep_one_in``-th request (by trace order). Updates are
+    kept in full: thinning them would silently change consistency costs.
+    """
+    if keep_one_in <= 0:
+        raise ValueError(f"keep_one_in must be positive, got {keep_one_in}")
+    return Trace(
+        requests=[
+            r for index, r in enumerate(trace.requests) if index % keep_one_in == 0
+        ],
+        updates=list(trace.updates),
+    )

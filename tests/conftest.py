@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cloud import CacheCloud
+from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.workload.documents import build_corpus
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_corpus():
+    """50 documents with fixed 1 KiB size for predictable byte accounting."""
+    return build_corpus(50, fixed_size=1024)
+
+
+@pytest.fixture
+def corpus_200():
+    """200 documents with varied sizes."""
+    return build_corpus(200, random.Random(7))
+
+
+def make_cloud(
+    corpus,
+    num_caches=4,
+    num_rings=2,
+    assignment=AssignmentScheme.DYNAMIC,
+    placement=PlacementScheme.AD_HOC,
+    capture=True,
+    **overrides,
+):
+    """Build a small cloud with protocol capture on (test helper)."""
+    config = CloudConfig(
+        num_caches=num_caches,
+        num_rings=num_rings,
+        assignment=assignment,
+        placement=placement,
+        intra_gen=overrides.pop("intra_gen", 100),
+        cycle_length=overrides.pop("cycle_length", 10.0),
+        **overrides,
+    )
+    return CacheCloud(config, corpus, capture_protocol=capture)
+
+
+@pytest.fixture
+def cloud_factory(small_corpus):
+    """Factory fixture: build clouds over the small corpus."""
+
+    def factory(**kwargs):
+        return make_cloud(small_corpus, **kwargs)
+
+    return factory

@@ -1,0 +1,117 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_requires_valid_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["figure", "3", "--scale", "tiny"])
+        assert args.scale == "tiny"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "3", "--scale", "huge"])
+
+    def test_trace_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestCommands:
+    def test_figure3_tiny(self, capsys):
+        assert main(["figure", "3", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "peak/mean" in out
+
+    def test_ablation_load_info_tiny(self, capsys):
+        assert main(["ablation", "load-info", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "CIrHLd" in out
+
+    def test_extension_consistency_tiny(self, capsys):
+        assert main(["extension", "consistency", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "TTL" in out
+
+    def test_trace_generation(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.txt"
+        code = main(
+            [
+                "trace",
+                "--documents", "50",
+                "--caches", "4",
+                "--duration", "5",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        content = out_file.read_text()
+        assert content.startswith(("R ", "U "))
+        assert "wrote" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        code = main(
+            [
+                "run",
+                "--documents", "100",
+                "--caches", "4",
+                "--rings", "2",
+                "--duration", "10",
+                "--cycle", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cloud hit rate" in out
+        assert "CoV" in out
+
+    def test_run_with_static_and_beacon(self, capsys):
+        code = main(
+            [
+                "run",
+                "--documents", "100",
+                "--caches", "4",
+                "--rings", "2",
+                "--duration", "10",
+                "--assignment", "static",
+                "--placement", "beacon",
+            ]
+        )
+        assert code == 0
+
+
+class TestCompareCommand:
+    def _write(self, tmp_path, name, payload, filename):
+        from repro.experiments.reporting import save_result
+
+        path = tmp_path / filename
+        save_result(payload, path, name=name)
+        return str(path)
+
+    def test_no_drift_exits_zero(self, tmp_path, capsys):
+        a = self._write(tmp_path, "e", {"v": 1.0}, "a.json")
+        b = self._write(tmp_path, "e", {"v": 1.0}, "b.json")
+        assert main(["compare", a, b]) == 0
+        assert "no metric drifted" in capsys.readouterr().out
+
+    def test_drift_exits_nonzero_and_lists_paths(self, tmp_path, capsys):
+        a = self._write(tmp_path, "e", {"v": 1.0}, "a.json")
+        b = self._write(tmp_path, "e", {"v": 2.0}, "b.json")
+        assert main(["compare", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "v: 1 -> 2" in out
+
+    def test_tolerance_flag(self, tmp_path):
+        a = self._write(tmp_path, "e", {"v": 1.0}, "a.json")
+        b = self._write(tmp_path, "e", {"v": 1.2}, "b.json")
+        assert main(["compare", a, b, "--tolerance", "0.5"]) == 0
+        assert main(["compare", a, b, "--tolerance", "0.1"]) == 1

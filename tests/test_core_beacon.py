@@ -1,0 +1,56 @@
+"""Unit tests for per-beacon-point state."""
+
+from repro.core.beacon import BeaconState
+
+
+class TestLoadRecording:
+    def test_lookup_and_update_counted(self):
+        beacon = BeaconState(0)
+        beacon.record_lookup(5)
+        beacon.record_update(5)
+        beacon.record_update(7)
+        assert beacon.cycle_lookups == 1
+        assert beacon.cycle_updates == 2
+        assert beacon.cycle_load == 3.0
+        assert beacon.total_load == 3.0
+
+    def test_per_irh_tracking_on(self):
+        beacon = BeaconState(0, track_per_irh=True)
+        beacon.record_lookup(5)
+        beacon.record_lookup(5)
+        beacon.record_update(9)
+        load, per_irh = beacon.cycle_snapshot()
+        assert load == 3.0
+        assert per_irh == {5: 2.0, 9: 1.0}
+
+    def test_per_irh_tracking_off(self):
+        beacon = BeaconState(0, track_per_irh=False)
+        beacon.record_lookup(5)
+        load, per_irh = beacon.cycle_snapshot()
+        assert load == 1.0
+        assert per_irh is None
+
+
+class TestCycleProtocol:
+    def test_reset_cycle_clears_cycle_counters_only(self):
+        beacon = BeaconState(0)
+        beacon.record_lookup(1)
+        beacon.record_update(2)
+        beacon.reset_cycle()
+        assert beacon.cycle_load == 0.0
+        assert beacon.total_load == 2.0
+        _, per_irh = beacon.cycle_snapshot()
+        assert per_irh == {}
+
+    def test_reset_totals(self):
+        beacon = BeaconState(0)
+        beacon.record_lookup(1)
+        beacon.directory_entries_migrated = 5
+        beacon.reset_totals()
+        assert beacon.total_load == 0.0
+        assert beacon.directory_entries_migrated == 0
+
+    def test_directory_is_per_beacon(self):
+        a, b = BeaconState(0), BeaconState(1)
+        a.directory.add_holder(1, 0, 9)
+        assert not b.directory.knows(1)

@@ -1,0 +1,97 @@
+"""Unit tests for cloud configuration."""
+
+import pytest
+
+from repro.core.config import (
+    AssignmentScheme,
+    CloudConfig,
+    PlacementScheme,
+    UtilityWeights,
+    WEIGHTS_ALL_ON,
+    WEIGHTS_DSCC_OFF,
+)
+
+
+class TestUtilityWeights:
+    def test_defaults_sum_to_one(self):
+        weights = UtilityWeights()
+        assert sum(weights.as_dict().values()) == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UtilityWeights(afc=-0.1, dai=0.5, dscc=0.3, cmc=0.3)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError):
+            UtilityWeights(afc=0.5, dai=0.5, dscc=0.5, cmc=0.5)
+
+    def test_equal_over_three(self):
+        weights = UtilityWeights.equal_over(["afc", "dai", "cmc"])
+        assert weights.afc == pytest.approx(1 / 3)
+        assert weights.dscc == 0.0
+
+    def test_equal_over_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            UtilityWeights.equal_over(["afc", "bogus"])
+
+    def test_equal_over_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            UtilityWeights.equal_over(["afc", "afc"])
+
+    def test_equal_over_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UtilityWeights.equal_over([])
+
+    def test_paper_presets(self):
+        assert WEIGHTS_DSCC_OFF.dscc == 0.0
+        assert WEIGHTS_DSCC_OFF.afc == pytest.approx(1 / 3)
+        assert WEIGHTS_ALL_ON.afc == pytest.approx(0.25)
+
+
+class TestCloudConfig:
+    def test_paper_defaults(self):
+        config = CloudConfig()
+        assert config.num_caches == 10
+        assert config.num_rings == 5
+        assert config.intra_gen == 1000
+        assert config.cycle_length == 60.0
+        assert config.assignment is AssignmentScheme.DYNAMIC
+        assert config.placement is PlacementScheme.UTILITY
+
+    def test_ring_size(self):
+        assert CloudConfig(num_caches=10, num_rings=5).ring_size() == 2
+        assert CloudConfig(num_caches=10, num_rings=3).ring_size() == 4
+
+    def test_ring_members_round_robin(self):
+        config = CloudConfig(num_caches=6, num_rings=3)
+        assert config.ring_members() == [[0, 3], [1, 4], [2, 5]]
+
+    def test_ring_members_uneven(self):
+        config = CloudConfig(num_caches=5, num_rings=2)
+        members = config.ring_members()
+        assert members == [[0, 2, 4], [1, 3]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudConfig(num_caches=0)
+        with pytest.raises(ValueError):
+            CloudConfig(num_caches=4, num_rings=5)
+        with pytest.raises(ValueError):
+            CloudConfig(cycle_length=0.0)
+        with pytest.raises(ValueError):
+            CloudConfig(utility_threshold=1.5)
+        with pytest.raises(ValueError):
+            CloudConfig(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            CloudConfig(num_caches=10, intra_gen=1)
+
+    def test_capabilities_validation(self):
+        with pytest.raises(ValueError):
+            CloudConfig(num_caches=3, num_rings=1, capabilities=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            CloudConfig(num_caches=2, num_rings=1, capabilities=[1.0, 0.0])
+
+    def test_capability_of(self):
+        config = CloudConfig(num_caches=2, num_rings=1, capabilities=[1.0, 3.0])
+        assert config.capability_of(1) == 3.0
+        assert CloudConfig().capability_of(5) == 1.0

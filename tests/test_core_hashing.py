@@ -1,0 +1,126 @@
+"""Unit tests for URL hashing and assigners."""
+
+import pytest
+
+from repro.core.hashing import (
+    DynamicHashAssigner,
+    StaticHashAssigner,
+    irh_value,
+    ring_index,
+    url_hash,
+)
+from repro.core.ring import BeaconRing
+
+
+class TestUrlHash:
+    def test_deterministic(self):
+        assert url_hash("http://a/x") == url_hash("http://a/x")
+
+    def test_distinct_urls_differ(self):
+        assert url_hash("http://a/x") != url_hash("http://a/y")
+
+    def test_salt_changes_hash(self):
+        assert url_hash("u", b"s1:") != url_hash("u", b"s2:")
+
+    def test_128_bit_range(self):
+        assert 0 <= url_hash("u") < 2**128
+
+
+class TestTwoStepMapping:
+    def test_ring_index_in_range(self):
+        for i in range(100):
+            assert 0 <= ring_index(f"url{i}", 7) < 7
+
+    def test_irh_value_in_range(self):
+        for i in range(100):
+            assert 0 <= irh_value(f"url{i}", 1000) < 1000
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ring_index("u", 0)
+        with pytest.raises(ValueError):
+            irh_value("u", 0)
+
+    def test_ring_and_irh_are_decorrelated(self):
+        """Salted streams: ring index must not be a function of IrH mod rings."""
+        pairs = {(ring_index(f"u{i}", 4), irh_value(f"u{i}", 4)) for i in range(400)}
+        # If correlated, only ~4 distinct pairs would appear; decorrelated
+        # streams produce nearly all 16 combinations.
+        assert len(pairs) == 16
+
+    def test_roughly_uniform_ring_distribution(self):
+        counts = [0] * 5
+        for i in range(5000):
+            counts[ring_index(f"http://doc/{i}", 5)] += 1
+        for count in counts:
+            assert 800 <= count <= 1200
+
+
+class TestStaticHashAssigner:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StaticHashAssigner([])
+
+    def test_assignment_stable(self):
+        assigner = StaticHashAssigner([0, 1, 2, 3])
+        url = "http://origin/doc/7.html"
+        assert assigner.beacon_for(url) == assigner.beacon_for(url)
+
+    def test_assignment_covers_members_roughly_uniformly(self):
+        assigner = StaticHashAssigner(list(range(10)))
+        counts = [0] * 10
+        for i in range(5000):
+            counts[assigner.beacon_for(f"http://doc/{i}")] += 1
+        for count in counts:
+            assert 350 <= count <= 650
+
+    def test_members_and_hops(self):
+        assigner = StaticHashAssigner([3, 5])
+        assert assigner.members() == [3, 5]
+        assert assigner.discovery_hops("u") == 1
+
+    def test_non_contiguous_cache_ids(self):
+        assigner = StaticHashAssigner([10, 20, 30])
+        assert assigner.beacon_for("u") in (10, 20, 30)
+
+
+class TestDynamicHashAssigner:
+    def make(self, num_rings=3, ring_size=2, intra_gen=100):
+        rings = [
+            BeaconRing(
+                [r * ring_size + i for i in range(ring_size)], intra_gen
+            )
+            for r in range(num_rings)
+        ]
+        return DynamicHashAssigner(rings, intra_gen)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DynamicHashAssigner([], 100)
+
+    def test_two_step_discovery(self):
+        assigner = self.make()
+        url = "http://origin/doc/1.html"
+        ring = assigner.ring_of(url)
+        beacon = assigner.beacon_for(url)
+        assert beacon in ring.members
+
+    def test_members_union_of_rings(self):
+        assigner = self.make(num_rings=2, ring_size=3)
+        assert assigner.members() == [0, 1, 2, 3, 4, 5]
+
+    def test_assignment_follows_sub_range_moves(self):
+        assigner = self.make(num_rings=1, ring_size=2, intra_gen=10)
+        ring = assigner.rings[0]
+        url = "http://origin/doc/42.html"
+        irh = irh_value(url, 10)
+        before = assigner.beacon_for(url)
+        assert before == ring.owner_of(irh)
+        # Force all load onto `before` so its sub-range shrinks hard.
+        per_irh = {k: (100.0 if ring.owner_of(k) == before else 0.0) for k in range(10)}
+        loads = {m: sum(per_irh[k] for k in ring.arc_of(m).values()) for m in ring.members}
+        ring.rebalance(loads, per_irh)
+        assert assigner.beacon_for(url) == ring.owner_of(irh)
+
+    def test_hops_is_one(self):
+        assert self.make().discovery_hops("u") == 1

@@ -1,0 +1,62 @@
+"""Unit tests for protocol message types."""
+
+from repro.core.directory import DIRECTORY_ENTRY_BYTES
+from repro.core.protocol import (
+    DirectoryTransfer,
+    LookupRequest,
+    LookupResponse,
+    ProtocolTrace,
+    RangeAnnouncement,
+    UpdateNotice,
+)
+from repro.network.transport import CONTROL_MESSAGE_BYTES
+
+
+class TestSizes:
+    def test_lookup_messages_are_control_sized(self):
+        assert LookupRequest(0, 1, 2).size_bytes == CONTROL_MESSAGE_BYTES
+        assert (
+            LookupResponse(1, 0, 2, frozenset({3})).size_bytes
+            == CONTROL_MESSAGE_BYTES
+        )
+
+    def test_update_notice_body_vs_invalidation(self):
+        with_body = UpdateNotice(1, 2, 0, carries_body=True, body_bytes=5000)
+        bare = UpdateNotice(1, 2, 0, carries_body=False, body_bytes=5000)
+        assert with_body.size_bytes == 5000
+        assert bare.size_bytes == CONTROL_MESSAGE_BYTES
+
+    def test_directory_transfer_scales_with_entries(self):
+        small = DirectoryTransfer(0, 1, entry_count=1)
+        large = DirectoryTransfer(0, 1, entry_count=100)
+        assert small.size_bytes >= CONTROL_MESSAGE_BYTES
+        assert large.size_bytes == 100 * DIRECTORY_ENTRY_BYTES
+
+    def test_empty_directory_transfer_has_floor(self):
+        assert DirectoryTransfer(0, 1, 0).size_bytes == CONTROL_MESSAGE_BYTES
+
+
+class TestProtocolTrace:
+    def test_disabled_trace_drops_messages(self):
+        trace = ProtocolTrace(enabled=False)
+        trace.emit(LookupRequest(0, 1, 2))
+        assert trace.messages == []
+
+    def test_enabled_trace_captures(self):
+        trace = ProtocolTrace(enabled=True)
+        trace.emit(LookupRequest(0, 1, 2))
+        trace.emit(RangeAnnouncement(0, ((1, 0, 9),)))
+        assert len(trace.messages) == 2
+
+    def test_of_type_filters(self):
+        trace = ProtocolTrace(enabled=True)
+        trace.emit(LookupRequest(0, 1, 2))
+        trace.emit(RangeAnnouncement(0, ()))
+        assert len(trace.of_type(LookupRequest)) == 1
+        assert len(trace.of_type(RangeAnnouncement)) == 1
+
+    def test_clear(self):
+        trace = ProtocolTrace(enabled=True)
+        trace.emit(LookupRequest(0, 1, 2))
+        trace.clear()
+        assert trace.messages == []

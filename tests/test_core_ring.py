@@ -1,0 +1,280 @@
+"""Unit + property tests for beacon rings and sub-range determination.
+
+Includes the paper's worked example (Figure 2): a 2-beacon-point ring with
+IntraGen 10 and per-IrH loads summing to 500/300 must rebalance to 410/390
+with full load information and to 440/360 with the CAvgLoad approximation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import Arc, BeaconRing
+
+# Per-IrH loads consistent with Figure 2: hashes 0-2 sum to 410, hash 3 = 30,
+# hash 4 = 60, hashes 5-9 sum to 300 → P0(0-4) = 500, P1(5-9) = 300.
+FIGURE2_LOADS = {0: 135, 1: 100, 2: 175, 3: 30, 4: 60, 5: 100, 6: 25, 7: 50, 8: 75, 9: 50}
+
+
+class TestArc:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Arc(start=-1, width=1, intra_gen=10)
+        with pytest.raises(ValueError):
+            Arc(start=0, width=0, intra_gen=10)
+        with pytest.raises(ValueError):
+            Arc(start=0, width=11, intra_gen=10)
+
+    def test_linear_arc(self):
+        arc = Arc(start=2, width=3, intra_gen=10)
+        assert arc.end == 4
+        assert not arc.wraps
+        assert arc.spans() == [(2, 4)]
+        assert arc.values() == [2, 3, 4]
+        assert arc.contains(3) and not arc.contains(5)
+
+    def test_wrapped_arc(self):
+        arc = Arc(start=8, width=4, intra_gen=10)
+        assert arc.end == 1
+        assert arc.wraps
+        assert arc.spans() == [(8, 9), (0, 1)]
+        assert arc.values() == [8, 9, 0, 1]
+        assert arc.contains(9) and arc.contains(0) and not arc.contains(2)
+
+    def test_contains_rejects_out_of_space(self):
+        arc = Arc(start=0, width=10, intra_gen=10)
+        assert not arc.contains(10)
+        assert not arc.contains(-1)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            BeaconRing([], 100)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            BeaconRing([1, 1], 100)
+
+    def test_rejects_tiny_intra_gen(self):
+        with pytest.raises(ValueError):
+            BeaconRing([1, 2, 3], 2)
+
+    def test_rejects_bad_capability(self):
+        with pytest.raises(ValueError):
+            BeaconRing([1, 2], 100, {1: 0.0})
+
+    def test_equal_initial_split(self):
+        ring = BeaconRing([10, 20], 10)
+        assert ring.arc_of(10).spans() == [(0, 4)]
+        assert ring.arc_of(20).spans() == [(5, 9)]
+
+    def test_uneven_split_gives_remainder_to_first(self):
+        ring = BeaconRing([1, 2, 3], 10)
+        widths = [ring.arc_of(m).width for m in (1, 2, 3)]
+        assert widths == [4, 3, 3]
+
+    def test_arcs_partition_the_space(self):
+        ring = BeaconRing([1, 2, 3, 4], 97)
+        owners = ring.owner_table()
+        assert len(owners) == 97
+        for member in (1, 2, 3, 4):
+            assert ring.arc_of(member).width == owners.count(member)
+
+
+class TestOwnerLookup:
+    def test_owner_matches_arcs(self):
+        ring = BeaconRing([5, 6, 7], 30)
+        for irh in range(30):
+            owner = ring.owner_of(irh)
+            assert ring.arc_of(owner).contains(irh)
+
+    def test_out_of_range_raises(self):
+        ring = BeaconRing([1], 10)
+        with pytest.raises(ValueError):
+            ring.owner_of(10)
+
+
+class TestFigure2WorkedExample:
+    """The paper's own numbers, both information regimes."""
+
+    def test_full_load_information_rebalances_to_410_390(self):
+        ring = BeaconRing([0, 1], 10)
+        result = ring.rebalance({0: 500.0, 1: 300.0}, per_irh_loads=FIGURE2_LOADS)
+        assert result.changed
+        assert ring.arc_of(0).spans() == [(0, 2)]
+        assert result.predicted_loads[0] == pytest.approx(410.0)
+        assert result.predicted_loads[1] == pytest.approx(390.0)
+
+    def test_average_approximation_rebalances_to_440_360(self):
+        ring = BeaconRing([0, 1], 10)
+        result = ring.rebalance({0: 500.0, 1: 300.0}, per_irh_loads=None)
+        assert result.changed
+        assert ring.arc_of(0).spans() == [(0, 3)]
+        # Under the approximation each of P0's hashes is estimated at 100, so
+        # exactly one hash moves; with the true loads the outcome is 440/360.
+        true_p0 = sum(FIGURE2_LOADS[h] for h in range(0, 4))
+        true_p1 = sum(FIGURE2_LOADS[h] for h in range(4, 10))
+        assert true_p0 == 440 and true_p1 == 360
+
+    def test_moves_describe_the_transfer(self):
+        ring = BeaconRing([0, 1], 10)
+        result = ring.rebalance({0: 500.0, 1: 300.0}, per_irh_loads=FIGURE2_LOADS)
+        assert (3, 4, 0, 1) in result.moves
+
+
+class TestRebalanceBehaviour:
+    def test_single_member_never_changes(self):
+        ring = BeaconRing([9], 50)
+        result = ring.rebalance({9: 1000.0})
+        assert not result.changed
+        assert ring.arc_of(9).width == 50
+
+    def test_zero_load_is_stable(self):
+        ring = BeaconRing([1, 2], 10)
+        result = ring.rebalance({1: 0.0, 2: 0.0})
+        assert not result.changed
+
+    def test_balanced_loads_are_stable(self):
+        ring = BeaconRing([1, 2], 10)
+        per_irh = {k: 10.0 for k in range(10)}
+        result = ring.rebalance({1: 50.0, 2: 50.0}, per_irh)
+        assert not result.changed
+
+    def test_capability_weighted_shares(self):
+        # Member 1 is twice as capable: it should end up with ~2/3 of load.
+        ring = BeaconRing([1, 2], 12, {1: 2.0, 2: 1.0})
+        per_irh = {k: 10.0 for k in range(12)}  # uniform, total 120
+        ring.rebalance({1: 60.0, 2: 60.0}, per_irh)
+        assert ring.arc_of(1).width == 8  # 80 load ≈ 2/3 of 120
+        assert ring.arc_of(2).width == 4
+
+    def test_hot_value_blocked_linearly_escapes_around_the_circle(self):
+        """The circularity rationale: a hot IrH at the interior boundary.
+
+        Member B holds a hot value at the very start of its arc plus light
+        values; A cannot pull the hot value (overshoot), but B can shed its
+        light *end* values around the wrap boundary to A.
+        """
+        ring = BeaconRing(["A", "B"], 10)
+        per_irh = {k: 1.0 for k in range(10)}
+        per_irh[5] = 50.0  # hot value at B's arc start
+        loads = {"A": 5.0, "B": 54.0}
+        result = ring.rebalance(loads, per_irh)
+        assert result.changed
+        # A acquired light values from B's end via the wrap boundary.
+        assert result.predicted_loads["A"] > 5.0
+        arc_a = ring.arc_of("A")
+        assert arc_a.wraps or arc_a.width > 5
+
+    def test_convergence_under_stationary_skew(self):
+        """Iterated cycles with exact feedback converge near fair shares."""
+        ring = BeaconRing([0, 1, 2, 3], 100)
+        # Zipf-flavoured stationary per-IrH load.
+        per_irh = {k: 1000.0 / (k + 1) for k in range(100)}
+        for _ in range(12):
+            loads = {}
+            for member in ring.members:
+                loads[member] = sum(
+                    per_irh[irh] for irh in ring.arc_of(member).values()
+                )
+            ring.rebalance(loads, per_irh)
+        final = [
+            sum(per_irh[irh] for irh in ring.arc_of(m).values())
+            for m in ring.members
+        ]
+        mean = sum(final) / len(final)
+        assert max(final) / mean < 1.45  # hottest single IrH is indivisible
+
+    def test_moves_are_consistent_with_new_ownership(self):
+        ring = BeaconRing([0, 1, 2], 30)
+        per_irh = {k: float(30 - k) for k in range(30)}
+        loads = {
+            m: sum(per_irh[irh] for irh in ring.arc_of(m).values())
+            for m in ring.members
+        }
+        result = ring.rebalance(loads, per_irh)
+        for lo, hi, src, dst in result.moves:
+            for irh in range(lo, hi + 1):
+                assert ring.owner_of(irh) == dst
+                assert src != dst
+
+
+class TestMembershipChanges:
+    def test_remove_merges_into_successor(self):
+        ring = BeaconRing([1, 2, 3], 30)
+        absorber = ring.remove_member(2)
+        assert absorber == 3
+        assert ring.members == [1, 3]
+        assert sum(ring.arc_of(m).width for m in ring.members) == 30
+
+    def test_remove_last_member_wraps_to_first(self):
+        ring = BeaconRing([1, 2], 10)
+        absorber = ring.remove_member(2)
+        assert absorber == 1
+        assert ring.arc_of(1).width == 10
+
+    def test_cannot_remove_only_member(self):
+        ring = BeaconRing([1], 10)
+        with pytest.raises(ValueError):
+            ring.remove_member(1)
+
+    def test_add_member_splits_donor(self):
+        ring = BeaconRing([1, 3], 20)
+        ring.add_member(2, 1)
+        assert ring.members == [1, 2, 3]
+        assert sum(ring.arc_of(m).width for m in ring.members) == 20
+        # Lookup still total: every IrH has exactly one owner.
+        for irh in range(20):
+            ring.owner_of(irh)
+
+    def test_add_duplicate_raises(self):
+        ring = BeaconRing([1, 2], 20)
+        with pytest.raises(ValueError):
+            ring.add_member(1, 0)
+
+    def test_remove_then_add_round_trip_preserves_partition(self):
+        ring = BeaconRing([1, 2, 3, 4], 40)
+        ring.remove_member(2)
+        ring.add_member(2, 1)
+        assert sorted(ring.members) == [1, 2, 3, 4]
+        owners = ring.owner_table()
+        for member in ring.members:
+            assert owners.count(member) == ring.arc_of(member).width
+        assert sum(ring.arc_of(m).width for m in ring.members) == 40
+
+
+@given(
+    num_members=st.integers(min_value=1, max_value=6),
+    intra_gen=st.integers(min_value=6, max_value=60),
+    loads=st.lists(
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        min_size=6,
+        max_size=6,
+    ),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=80, deadline=None)
+def test_rebalance_invariants(num_members, intra_gen, loads, seed):
+    """Property: any rebalance preserves the partition of the IrH space."""
+    import random
+
+    rng = random.Random(seed)
+    members = list(range(num_members))
+    ring = BeaconRing(members, intra_gen)
+    per_irh = {k: rng.uniform(0, 10) for k in range(intra_gen)}
+    measured = {m: loads[i % len(loads)] for i, m in enumerate(members)}
+    result = ring.rebalance(measured, per_irh)
+    # Partition invariants: total width preserved, every IrH owned once.
+    assert sum(ring.arc_of(m).width for m in ring.members) == intra_gen
+    owners = ring.owner_table()
+    for member in members:
+        assert owners.count(member) == ring.arc_of(member).width
+        assert ring.arc_of(member).width >= 1
+    # Move spans never overlap and never name a member outside the ring.
+    seen = set()
+    for lo, hi, src, dst in result.moves:
+        assert src in members and dst in members
+        for irh in range(lo, hi + 1):
+            assert irh not in seen
+            seen.add(irh)

@@ -1,0 +1,93 @@
+"""Unit tests for the edge cache node facade."""
+
+import pytest
+
+from repro.edgecache.cache import EdgeCache
+from repro.edgecache.document import CachedDocument
+
+
+class TestConstruction:
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            EdgeCache(-1)
+
+    def test_rejects_non_positive_capability(self):
+        with pytest.raises(ValueError):
+            EdgeCache(0, capability=0.0)
+
+
+class TestRequestPath:
+    def test_observe_request_counts_and_tracks_frequency(self):
+        cache = EdgeCache(0)
+        cache.observe_request(5, 1.0)
+        assert cache.stats.requests == 1
+        assert cache.frequencies.rate_of(5, 1.0) > 0
+
+    def test_serve_local_counts_hit(self):
+        cache = EdgeCache(0)
+        cache.admit(5, 100, 0, 0.0)
+        doc = cache.serve_local(5, 2.0)
+        assert isinstance(doc, CachedDocument)
+        assert cache.stats.local_hits == 1
+
+    def test_admit_counts_store(self):
+        cache = EdgeCache(0)
+        assert cache.admit(5, 100, 0, 0.0) == []
+        assert cache.stats.stores == 1
+
+    def test_admit_too_big_returns_none_without_store_count(self):
+        cache = EdgeCache(0, capacity_bytes=50)
+        assert cache.admit(5, 100, 0, 0.0) is None
+        assert cache.stats.stores == 0
+
+    def test_decline_counts_reject(self):
+        cache = EdgeCache(0)
+        cache.decline()
+        assert cache.stats.placement_rejects == 1
+
+
+class TestFreshness:
+    def test_holds_fresh_semantics(self):
+        cache = EdgeCache(0)
+        cache.admit(5, 100, 2, 0.0)
+        assert cache.holds(5)
+        assert cache.holds_fresh(5, 2)
+        assert cache.holds_fresh(5, 1)  # newer than required is fine
+        assert not cache.holds_fresh(5, 3)
+
+    def test_apply_update_refreshes_version(self):
+        cache = EdgeCache(0)
+        cache.admit(5, 100, 0, 0.0)
+        assert cache.apply_update(5, 3, 1.0)
+        assert cache.copy_of(5).version == 3
+        assert cache.stats.updates_applied == 1
+
+    def test_apply_update_to_absent_doc_is_noop(self):
+        cache = EdgeCache(0)
+        assert not cache.apply_update(5, 3, 1.0)
+        assert cache.stats.updates_applied == 0
+
+    def test_drop(self):
+        cache = EdgeCache(0)
+        cache.admit(5, 100, 0, 0.0)
+        assert cache.drop(5, 1.0)
+        assert not cache.holds(5)
+        assert not cache.drop(5, 2.0)
+
+
+class TestFailure:
+    def test_fail_clears_storage(self):
+        cache = EdgeCache(0)
+        cache.admit(1, 100, 0, 0.0)
+        cache.admit(2, 100, 0, 0.0)
+        cache.fail(1.0)
+        assert not cache.alive
+        assert len(cache.storage) == 0
+
+    def test_recover_comes_back_cold(self):
+        cache = EdgeCache(0)
+        cache.admit(1, 100, 0, 0.0)
+        cache.fail(1.0)
+        cache.recover()
+        assert cache.alive
+        assert not cache.holds(1)

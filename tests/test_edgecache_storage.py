@@ -1,0 +1,138 @@
+"""Unit tests for the byte-budgeted store."""
+
+import pytest
+
+from repro.edgecache.replacement import LRUPolicy
+from repro.edgecache.storage import CacheStorage
+
+
+class TestUnlimitedStorage:
+    def test_admits_everything(self):
+        storage = CacheStorage()
+        for doc in range(100):
+            assert storage.admit(doc, 1000, 0, float(doc)) == []
+        assert len(storage) == 100
+        assert storage.unlimited
+        assert storage.free_bytes() is None
+
+    def test_expected_residence_none(self):
+        storage = CacheStorage()
+        storage.admit(0, 100, 0, 0.0)
+        assert storage.expected_residence(5.0) is None
+
+
+class TestBoundedStorage:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CacheStorage(capacity_bytes=0)
+
+    def test_tracks_used_bytes(self):
+        storage = CacheStorage(capacity_bytes=1000)
+        storage.admit(1, 300, 0, 0.0)
+        storage.admit(2, 200, 0, 0.0)
+        assert storage.used_bytes == 500
+        assert storage.free_bytes() == 500
+
+    def test_evicts_lru_to_make_room(self):
+        storage = CacheStorage(capacity_bytes=1000, policy=LRUPolicy())
+        storage.admit(1, 400, 0, 0.0)
+        storage.admit(2, 400, 0, 1.0)
+        storage.access(1, 2.0)  # doc 2 is now LRU
+        evicted = storage.admit(3, 400, 0, 3.0)
+        assert evicted == [2]
+        assert 1 in storage and 3 in storage and 2 not in storage
+        assert storage.evictions == 1
+
+    def test_doc_larger_than_disk_rejected(self):
+        storage = CacheStorage(capacity_bytes=100)
+        assert storage.admit(1, 101, 0, 0.0) is None
+        assert len(storage) == 0
+
+    def test_multiple_evictions_for_one_admit(self):
+        storage = CacheStorage(capacity_bytes=1000)
+        for doc in range(4):
+            storage.admit(doc, 250, 0, float(doc))
+        evicted = storage.admit(9, 900, 0, 10.0)
+        assert evicted == [0, 1, 2, 3]  # 250 left would not fit 900 alongside
+        assert storage.used_bytes == 900
+        assert storage.evictions == 4
+
+    def test_readmission_refreshes_version_in_place(self):
+        storage = CacheStorage(capacity_bytes=1000)
+        storage.admit(1, 400, 0, 0.0)
+        evicted = storage.admit(1, 400, 3, 1.0)
+        assert evicted == []
+        assert storage.get(1).version == 3
+        assert len(storage) == 1
+
+
+class TestAccess:
+    def test_access_touches_document(self):
+        storage = CacheStorage()
+        storage.admit(1, 100, 0, 0.0)
+        doc = storage.access(1, 5.0)
+        assert doc.last_access == 5.0
+        assert doc.access_count == 1
+
+    def test_access_missing_raises(self):
+        with pytest.raises(KeyError):
+            CacheStorage().access(7, 0.0)
+
+
+class TestVersionRefresh:
+    def test_refresh_updates_version(self):
+        storage = CacheStorage()
+        storage.admit(1, 100, 0, 0.0)
+        storage.refresh_version(1, 4)
+        assert storage.get(1).version == 4
+
+    def test_refresh_with_size_change_adjusts_usage(self):
+        storage = CacheStorage(capacity_bytes=1000)
+        storage.admit(1, 100, 0, 0.0)
+        storage.refresh_version(1, 1, size_bytes=300)
+        assert storage.used_bytes == 300
+        assert storage.get(1).size_bytes == 300
+
+    def test_grown_doc_forces_eviction_of_others(self):
+        storage = CacheStorage(capacity_bytes=1000)
+        storage.admit(1, 500, 0, 0.0)
+        storage.admit(2, 400, 0, 1.0)
+        storage.refresh_version(2, 1, size_bytes=600, now=2.0)
+        assert 2 in storage
+        assert 1 not in storage  # evicted to fit the grown copy
+        assert storage.used_bytes <= 1000
+
+
+class TestRemove:
+    def test_remove_returns_space(self):
+        storage = CacheStorage(capacity_bytes=500)
+        storage.admit(1, 300, 0, 0.0)
+        storage.remove(1, 1.0)
+        assert storage.used_bytes == 0
+        assert storage.evictions == 0  # explicit removal is not an eviction
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            CacheStorage().remove(1, 0.0)
+
+
+class TestResidenceEstimation:
+    def test_no_evictions_yet_returns_none(self):
+        storage = CacheStorage(capacity_bytes=1000)
+        storage.admit(1, 100, 0, 0.0)
+        assert storage.expected_residence(5.0) is None
+
+    def test_estimate_is_mean_of_recent_evictions(self):
+        storage = CacheStorage(capacity_bytes=200)
+        storage.admit(1, 100, 0, 0.0)
+        storage.admit(2, 100, 0, 0.0)
+        storage.admit(3, 100, 0, 10.0)  # evicts doc 1 after 10 units
+        storage.admit(4, 100, 0, 30.0)  # evicts doc 2 after 30 units
+        assert storage.expected_residence(30.0) == pytest.approx(20.0)
+
+    def test_min_resident_residence(self):
+        storage = CacheStorage()
+        storage.admit(1, 100, 0, 0.0)
+        storage.admit(2, 100, 0, 6.0)
+        assert storage.min_resident_residence(10.0, [1, 2]) == pytest.approx(4.0)
+        assert storage.min_resident_residence(10.0, [99]) is None

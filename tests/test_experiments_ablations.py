@@ -1,0 +1,63 @@
+"""Smoke + shape tests for the ablation studies (tiny scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationResult,
+    ablation_consistent_hashing,
+    ablation_cycle_length,
+    ablation_load_information,
+    ablation_threshold,
+)
+from repro.experiments.figures import TINY_SCALE
+
+
+class TestAblationResult:
+    def test_column_access(self):
+        result = AblationResult("x", ["a", "b"], rows=[(1, 2), (3, 4)])
+        assert result.column("a") == [1, 3]
+        assert result.column("b") == [2, 4]
+
+    def test_unknown_column_raises(self):
+        result = AblationResult("x", ["a"], rows=[(1,)])
+        with pytest.raises(ValueError):
+            result.column("zzz")
+
+    def test_render_contains_rows(self):
+        result = AblationResult("my study", ["a"], rows=[(1.5,)])
+        rendered = result.render()
+        assert "my study" in rendered
+        assert "1.500" in rendered
+
+
+class TestLoadInformation:
+    def test_two_regimes(self):
+        result = ablation_load_information(TINY_SCALE)
+        labels = result.column("load info")
+        assert labels == ["CIrHLd (exact)", "CAvgLoad (approx)"]
+        for cov in result.column("CoV"):
+            assert 0.0 <= cov < 2.0
+
+
+class TestConsistentHashing:
+    def test_three_schemes_and_hop_costs(self):
+        result = ablation_consistent_hashing(TINY_SCALE)
+        rows = {row[0]: row for row in result.rows}
+        assert set(rows) == {"static", "consistent", "dynamic"}
+        # Consistent hashing pays log2(10) ≈ 4 hops + response per lookup.
+        assert rows["consistent"][3] > rows["static"][3]
+
+
+class TestThreshold:
+    def test_monotone_storage(self):
+        result = ablation_threshold(TINY_SCALE, thresholds=(0.1, 0.5, 0.9))
+        stored = result.column("docs stored/cache (%)")
+        assert stored[0] >= stored[1] >= stored[2]
+        assert all(0.0 <= s <= 100.0 for s in stored)
+
+
+class TestCycleLength:
+    def test_migration_decreases_with_period(self):
+        result = ablation_cycle_length(TINY_SCALE, cycle_lengths=(2.0, 10.0))
+        migrated = result.column("directory entries migrated")
+        assert migrated[0] >= migrated[1]

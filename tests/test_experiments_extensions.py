@@ -1,0 +1,152 @@
+"""Smoke + shape tests for the extension experiments (tiny scale)."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    adaptive_weights_comparison,
+    consistency_mode_comparison,
+    multi_cloud_update_savings,
+)
+from repro.experiments.figures import TINY_SCALE
+
+
+class TestConsistencyComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return consistency_mode_comparison(TINY_SCALE)
+
+    def test_three_modes_present(self, result):
+        modes = [row[0] for row in result.rows]
+        assert modes[0].startswith("push")
+        assert modes[1].startswith("TTL")
+        assert modes[2].startswith("leases")
+
+    def test_push_is_never_stale(self, result):
+        assert result.row("push (cache cloud)")[2] == 0.0
+
+    def test_ttl_serves_stale_documents(self, result):
+        assert result.row("TTL (15 min)")[2] > 1.0  # visibly stale
+
+    def test_leases_much_fresher_than_ttl(self, result):
+        assert result.row("leases (30 min)")[2] < result.row("TTL (15 min)")[2]
+
+    def test_push_sends_one_origin_message_per_update(self, result):
+        assert result.row("push (cache cloud)")[3] == pytest.approx(1.0, abs=0.05)
+
+    def test_render(self, result):
+        assert "consistency modes" in result.render()
+
+
+class TestMultiCloudSavings:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return multi_cloud_update_savings(
+            TINY_SCALE, cloud_counts=(1, 2), caches_per_cloud=4
+        )
+
+    def test_rows(self, result):
+        assert result.cloud_counts == [1, 2]
+        assert len(result.cooperative_messages) == 2
+
+    def test_cooperation_saves_server_messages(self, result):
+        for n in result.cloud_counts:
+            assert result.savings_at(n) > 0.3
+
+    def test_savings_do_not_collapse_with_more_clouds(self, result):
+        # One message per cloud still beats one per holder at every size.
+        assert result.savings_at(2) > 0.2
+
+    def test_render(self, result):
+        assert "server update messages" in result.render()
+
+
+class TestAdaptiveWeights:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return adaptive_weights_comparison(TINY_SCALE)
+
+    def test_adaptation_actually_stepped(self, result):
+        assert result.steps >= 2
+
+    def test_weights_remain_normalized(self, result):
+        assert sum(result.final_weights.values()) == pytest.approx(1.0)
+
+    def test_dscc_stays_disabled(self, result):
+        assert result.final_weights["dscc"] == 0.0
+
+    def test_adaptive_not_much_worse_than_fixed(self, result):
+        # The controller must never blow up traffic; on the shifting
+        # workload it typically improves it.
+        assert result.adaptive_mb <= result.fixed_mb * 1.10
+
+    def test_render(self, result):
+        rendered = result.render()
+        assert "fixed weights" in rendered
+        assert "adaptive weights" in rendered
+
+
+class TestFailureResilienceValue:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.extensions import failure_resilience_value
+
+        return failure_resilience_value(TINY_SCALE)
+
+    def test_two_variants(self, result):
+        assert [row[0] for row in result.rows] == ["with replica", "without replica"]
+
+    def test_replica_reduces_origin_fetches(self, result):
+        assert result.row("with replica")[2] <= result.row("without replica")[2]
+
+    def test_render(self, result):
+        assert "lazy directory replication" in result.render()
+
+
+class TestClientLatency:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.extensions import client_latency_comparison
+
+        return client_latency_comparison(TINY_SCALE)
+
+    def test_five_schemes(self, result):
+        assert len(result.rows) == 5
+
+    def test_no_cooperation_is_worst(self, result):
+        worst = result.latency("no cooperation")
+        for scheme in ("ad hoc", "utility", "expiration age", "beacon"):
+            assert result.latency(scheme) < worst
+
+    def test_beacon_pays_for_single_copy(self, result):
+        assert result.latency("beacon") > result.latency("utility")
+
+    def test_unknown_scheme_raises(self, result):
+        with pytest.raises(KeyError):
+            result.latency("bogus")
+
+    def test_render(self, result):
+        assert "client latency" in result.render()
+
+
+class TestCapabilityProportionality:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.extensions import capability_proportionality
+
+        return capability_proportionality(TINY_SCALE)
+
+    def test_loads_for_all_caches(self, result):
+        assert set(result.static_loads) == set(range(10))
+        assert set(result.dynamic_loads) == set(range(10))
+
+    def test_dynamic_respects_capability_better(self, result):
+        assert result.dynamic_imbalance < result.static_imbalance * 1.05
+
+    def test_rejects_wrong_capability_count(self):
+        from repro.experiments.extensions import capability_proportionality
+
+        with pytest.raises(ValueError):
+            capability_proportionality(TINY_SCALE, capabilities=[1.0, 2.0])
+
+    def test_render(self, result):
+        assert "capability" in result.render()

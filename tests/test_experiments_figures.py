@@ -1,0 +1,144 @@
+"""Smoke + shape tests for the figure reproductions (tiny scale).
+
+Tiny runs are statistically noisy, so assertions here target *robust* shape
+properties (orderings that hold by construction) rather than the paper's
+ratios; EXPERIMENTS.md validates the ratios at benchmark scale.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.figures import (
+    FigureScale,
+    TINY_SCALE,
+    figure3,
+    figure5,
+    figure6,
+    figure7_and_8,
+    figure9,
+)
+
+
+class TestFigureScale:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FigureScale(
+                num_documents=0,
+                request_rate_per_cache=1.0,
+                update_rate=1.0,
+                duration_minutes=10.0,
+            )
+
+    def test_presets_exist(self):
+        assert figures.SMALL_SCALE.num_documents > TINY_SCALE.num_documents
+        assert figures.PAPER_SCALE.num_documents == 25_000
+
+
+class TestFigure3:
+    def test_structure(self):
+        result = figure3(TINY_SCALE)
+        assert len(result.static.beacon_loads) == 10
+        assert len(result.dynamic.beacon_loads) == 10
+        # Identical workload: total load conserved across schemes.
+        assert sum(result.static.beacon_loads.values()) == pytest.approx(
+            sum(result.dynamic.beacon_loads.values()), rel=0.05
+        )
+        rendered = result.render()
+        assert "Figure 3" in rendered
+        assert "peak/mean" in rendered
+
+
+class TestFigure5:
+    def test_rows_and_labels(self):
+        result = figure5(TINY_SCALE, cloud_sizes=(10,), ring_sizes=(2, 5))
+        assert result.labels() == ["static", "dynamic/2-per-ring", "dynamic/5-per-ring"]
+        assert set(result.cov) == {
+            (10, "static"),
+            (10, "dynamic/2-per-ring"),
+            (10, "dynamic/5-per-ring"),
+        }
+        for value in result.cov.values():
+            assert value >= 0.0
+        assert "Figure 5" in result.render()
+
+    def test_bigger_rings_balance_at_least_as_well(self):
+        result = figure5(TINY_SCALE, cloud_sizes=(10,), ring_sizes=(2, 10))
+        # A single 10-member ring balances across all beacon points; it must
+        # beat (or match) the 2-member configuration on the same workload.
+        assert (
+            result.cov[(10, "dynamic/10-per-ring")]
+            <= result.cov[(10, "dynamic/2-per-ring")] + 0.05
+        )
+
+
+class TestFigure6:
+    def test_series_lengths(self):
+        result = figure6(TINY_SCALE, alphas=(0.0, 0.9))
+        assert result.alphas == [0.0, 0.9]
+        assert len(result.cov_static) == 2
+        assert len(result.cov_dynamic) == 2
+        assert "Figure 6" in result.render()
+
+    def test_skew_increases_static_imbalance(self):
+        result = figure6(TINY_SCALE, alphas=(0.0, 0.9))
+        assert result.cov_static[1] > result.cov_static[0]
+
+    def test_divergence_at(self):
+        result = figure6(TINY_SCALE, alphas=(0.9,))
+        value = result.divergence_at(0.9)
+        assert isinstance(value, float)
+
+
+class TestFigures7And8:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figure7_and_8(TINY_SCALE, update_rates=(10.0, 500.0))
+
+    def test_series_present(self, results):
+        stored, traffic = results
+        for result in (stored, traffic):
+            assert set(result.series) == {"ad hoc", "utility", "beacon"}
+            for series in result.series.values():
+                assert len(series) == 2
+
+    def test_figure7_orderings(self, results):
+        stored, _ = results
+        for index in range(2):
+            assert stored.series["ad hoc"][index] > stored.series["utility"][index]
+            assert stored.series["utility"][index] > stored.series["beacon"][index]
+
+    def test_beacon_stores_one_copy_per_doc(self, results):
+        stored, _ = results
+        # ~10% per cache in a 10-cache cloud (one copy per requested doc).
+        for value in stored.series["beacon"]:
+            assert 5.0 < value < 20.0
+
+    def test_utility_storage_decreases_with_update_rate(self, results):
+        stored, _ = results
+        assert stored.series["utility"][1] < stored.series["utility"][0]
+
+    def test_figure8_adhoc_traffic_grows_with_update_rate(self, results):
+        _, traffic = results
+        assert traffic.series["ad hoc"][1] > traffic.series["ad hoc"][0]
+
+    def test_utility_beats_adhoc_at_high_update_rate(self, results):
+        _, traffic = results
+        assert traffic.series["utility"][1] < traffic.series["ad hoc"][1]
+
+    def test_value_accessor_and_render(self, results):
+        stored, traffic = results
+        rate = stored.update_rates[0]
+        assert stored.value("ad hoc", rate) == stored.series["ad hoc"][0]
+        assert "update rate" in traffic.render()
+
+
+class TestFigure9:
+    def test_limited_disk_run(self):
+        result = figure9(TINY_SCALE, update_rates=(100.0,))
+        assert set(result.series) == {"ad hoc", "utility", "beacon"}
+        assert result.figure == "Figure 9"
+        assert all(v > 0 for series in result.series.values() for v in series)
+
+    def test_utility_not_worse_than_adhoc(self):
+        result = figure9(TINY_SCALE, update_rates=(500.0,))
+        assert result.series["utility"][0] <= result.series["ad hoc"][0] * 1.1

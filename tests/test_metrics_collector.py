@@ -1,0 +1,103 @@
+"""Unit tests for the periodic cloud monitor."""
+
+import pytest
+
+from repro.core.cloud import CacheCloud
+from repro.core.config import CloudConfig, PlacementScheme
+from repro.experiments.runner import TraceFeeder
+from repro.metrics.collector import CloudMonitor
+from repro.simulation.engine import Simulator
+from repro.workload.documents import build_corpus
+from repro.workload.trace import RequestRecord, Trace, UpdateRecord
+
+
+def build_cloud():
+    corpus = build_corpus(40, fixed_size=1024)
+    config = CloudConfig(
+        num_caches=4,
+        num_rings=2,
+        intra_gen=100,
+        cycle_length=10.0,
+        placement=PlacementScheme.AD_HOC,
+    )
+    return CacheCloud(config, corpus)
+
+
+def trace_for(duration=40.0):
+    requests = [
+        RequestRecord(t * 0.2, int(t) % 4, int(t * 7) % 40)
+        for t in range(int(duration * 5))
+    ]
+    updates = [UpdateRecord(float(t) + 0.5, t % 40) for t in range(int(duration))]
+    return Trace(requests=requests, updates=updates)
+
+
+class TestCloudMonitor:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            CloudMonitor(build_cloud(), Simulator(), period=0.0)
+
+    def test_samples_on_period(self):
+        cloud = build_cloud()
+        sim = Simulator()
+        monitor = CloudMonitor(cloud, sim, period=10.0)
+        monitor.start()
+        TraceFeeder(sim, cloud, trace_for().merged()).start()
+        sim.run_until(40.0)
+        assert monitor.samples == 4
+        for name, series in monitor.series.items():
+            assert len(series) == 4, name
+
+    def test_windowed_hit_rate_rises_as_cache_warms(self):
+        cloud = build_cloud()
+        sim = Simulator()
+        monitor = CloudMonitor(cloud, sim, period=10.0)
+        monitor.start()
+        TraceFeeder(sim, cloud, trace_for().merged()).start()
+        sim.run_until(40.0)
+        rates = [v for _, v in monitor.series["cloud_hit_rate"].items()]
+        assert rates[-1] > rates[0]
+        assert all(0.0 <= r <= 1.0 for r in rates)
+
+    def test_network_mb_is_windowed_not_cumulative(self):
+        cloud = build_cloud()
+        sim = Simulator()
+        monitor = CloudMonitor(cloud, sim, period=10.0)
+        monitor.start()
+        TraceFeeder(sim, cloud, trace_for().merged()).start()
+        sim.run_until(40.0)
+        windows = [v for _, v in monitor.series["network_mb"].items()]
+        total = cloud.transport.meter.total_bytes / (1024.0 * 1024.0)
+        assert sum(windows) == pytest.approx(total, rel=0.01)
+
+    def test_idle_windows_report_neutral_balance(self):
+        cloud = build_cloud()
+        sim = Simulator()
+        monitor = CloudMonitor(cloud, sim, period=5.0)
+        monitor.start()
+        sim.run_until(20.0)  # no traffic at all
+        covs = [v for _, v in monitor.series["beacon_cov"].items()]
+        assert covs == [0.0] * 4
+        ptm = [v for _, v in monitor.series["beacon_peak_to_mean"].items()]
+        assert ptm == [1.0] * 4
+
+    def test_stop_halts_sampling(self):
+        cloud = build_cloud()
+        sim = Simulator()
+        monitor = CloudMonitor(cloud, sim, period=5.0)
+        monitor.start()
+        sim.run_until(10.0)
+        monitor.stop()
+        sim.run_until(40.0)
+        assert monitor.samples == 2
+
+    def test_docs_stored_gauge(self):
+        cloud = build_cloud()
+        sim = Simulator()
+        monitor = CloudMonitor(cloud, sim, period=10.0)
+        monitor.start()
+        TraceFeeder(sim, cloud, trace_for().merged()).start()
+        sim.run_until(40.0)
+        gauges = [v for _, v in monitor.series["docs_stored"].items()]
+        resident = sum(len(c.storage) for c in cloud.caches)
+        assert gauges[-1] == float(resident)

@@ -1,0 +1,154 @@
+"""Unit tests for the client population model."""
+
+import random
+
+import pytest
+
+from repro.network.clients import ClientPopulation
+from repro.network.topology import EuclideanTopology
+
+
+def make_topology(num_caches=5, seed=0):
+    return EuclideanTopology.random(
+        num_caches, random.Random(seed), extent=100.0
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        topo = make_topology()
+        with pytest.raises(ValueError):
+            ClientPopulation(topo, [], 10)
+        with pytest.raises(ValueError):
+            ClientPopulation(topo, [0], 0)
+        with pytest.raises(ValueError):
+            ClientPopulation(topo, [0], 10, hotspot_fraction=1.5)
+
+    def test_population_size(self):
+        population = ClientPopulation(make_topology(), list(range(5)), 200)
+        assert len(population) == 200
+
+    def test_deterministic_given_rng(self):
+        topo = make_topology()
+        a = ClientPopulation(topo, list(range(5)), 50, rng=random.Random(1))
+        b = ClientPopulation(topo, list(range(5)), 50, rng=random.Random(1))
+        assert [c.cache_id for c in a.clients] == [c.cache_id for c in b.clients]
+
+
+class TestAssignment:
+    def test_every_client_maps_to_nearest_cache(self):
+        population = ClientPopulation(
+            make_topology(), list(range(5)), 100, rng=random.Random(2)
+        )
+        assert population.assignment_is_nearest()
+
+    def test_clients_per_cache_covers_all_caches(self):
+        population = ClientPopulation(make_topology(), list(range(5)), 100)
+        counts = population.clients_per_cache()
+        assert set(counts) == set(range(5))
+        assert sum(counts.values()) == 100
+
+    def test_hotspots_concentrate_demand(self):
+        population = ClientPopulation(
+            make_topology(),
+            list(range(5)),
+            500,
+            hotspot_fraction=1.0,
+            spread=1.0,
+            rng=random.Random(3),
+        )
+        counts = population.clients_per_cache()
+        # With pure hot-spotting each client sits on top of some cache.
+        assert max(counts.values()) >= 60  # roughly 100 per cache ± noise
+        assert population.mean_access_latency_ms() < 10.0
+
+    def test_uniform_population_spreads_demand(self):
+        population = ClientPopulation(
+            make_topology(),
+            list(range(5)),
+            500,
+            hotspot_fraction=0.0,
+            rng=random.Random(4),
+        )
+        counts = population.clients_per_cache()
+        assert min(counts.values()) > 20  # no cache starves
+
+
+class TestDerivedWeights:
+    def test_cache_weights_normalized(self):
+        population = ClientPopulation(make_topology(), list(range(5)), 100)
+        weights = population.cache_weights()
+        assert len(weights) == 5
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    def test_weights_feed_workload_config(self):
+        from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
+
+        population = ClientPopulation(
+            make_topology(),
+            list(range(5)),
+            300,
+            hotspot_fraction=1.0,
+            spread=1.0,
+            rng=random.Random(5),
+        )
+        weights = population.cache_weights()
+        trace = SyntheticTraceGenerator(
+            WorkloadConfig(
+                num_documents=100,
+                num_caches=5,
+                request_rate_per_cache=40.0,
+                update_rate=0.0,
+                duration_minutes=30.0,
+                cache_weights=weights,
+                seed=5,
+            )
+        ).build_trace()
+        per_cache = [0] * 5
+        for record in trace.requests:
+            per_cache[record.cache_id] += 1
+        total = sum(per_cache)
+        for cache_id, weight in enumerate(weights):
+            assert per_cache[cache_id] / total == pytest.approx(weight, abs=0.05)
+
+
+class TestHotspotWeights:
+    def test_validation(self):
+        topo = make_topology()
+        with pytest.raises(ValueError):
+            ClientPopulation(topo, list(range(5)), 10, hotspot_weights=[1.0])
+        with pytest.raises(ValueError):
+            ClientPopulation(
+                topo, list(range(5)), 10, hotspot_weights=[0, 0, 0, 0, 0]
+            )
+        with pytest.raises(ValueError):
+            ClientPopulation(
+                topo, list(range(5)), 10, hotspot_weights=[1, 1, 1, 1, -1]
+            )
+
+    def test_skewed_weights_skew_demand(self):
+        topo = make_topology()
+        population = ClientPopulation(
+            topo,
+            list(range(5)),
+            1000,
+            hotspot_fraction=1.0,
+            spread=1.0,
+            hotspot_weights=[10.0, 1.0, 1.0, 1.0, 1.0],
+            rng=random.Random(6),
+        )
+        counts = population.clients_per_cache()
+        assert counts[0] > 3 * max(counts[c] for c in range(1, 5))
+
+    def test_uniform_weights_match_default(self):
+        topo = make_topology()
+        weighted = ClientPopulation(
+            topo,
+            list(range(5)),
+            200,
+            hotspot_weights=[1.0] * 5,
+            rng=random.Random(7),
+        )
+        counts = weighted.clients_per_cache()
+        assert sum(counts.values()) == 200

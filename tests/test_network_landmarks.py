@@ -1,0 +1,92 @@
+"""Unit tests for landmark-based cloud construction."""
+
+import random
+
+import pytest
+
+from repro.network.landmarks import LandmarkClustering, form_cache_clouds
+from repro.network.topology import EuclideanTopology
+
+
+def clustered_topology(num_caches=12, num_clusters=3, seed=0):
+    """Caches in tight metro clusters + 4 landmark nodes far apart."""
+    topo = EuclideanTopology.random(
+        num_caches,
+        random.Random(seed),
+        extent=1000.0,
+        num_clusters=num_clusters,
+        cluster_spread=2.0,
+    )
+    landmarks = []
+    for i, pos in enumerate([(0, 0), (1000, 0), (0, 1000), (1000, 1000)]):
+        node = 1000 + i
+        topo.add_node(node, pos)
+        landmarks.append(node)
+    return topo, landmarks
+
+
+class TestLandmarkClustering:
+    def test_requires_landmarks(self):
+        topo, _ = clustered_topology()
+        with pytest.raises(ValueError):
+            LandmarkClustering(topo, [])
+
+    def test_rtt_vector_dimension(self):
+        topo, landmarks = clustered_topology()
+        clustering = LandmarkClustering(topo, landmarks)
+        assert len(clustering.rtt_vector(0)) == 4
+
+    def test_vector_distance_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            LandmarkClustering.vector_distance([1.0], [1.0, 2.0])
+
+    def test_vector_distance_is_euclidean(self):
+        assert LandmarkClustering.vector_distance([0, 0], [3, 4]) == 5.0
+
+    def test_cluster_rejects_too_many_clouds(self):
+        topo, landmarks = clustered_topology()
+        clustering = LandmarkClustering(topo, landmarks)
+        with pytest.raises(ValueError):
+            clustering.cluster(list(range(3)), 5)
+
+    def test_cluster_rejects_zero_clouds(self):
+        topo, landmarks = clustered_topology()
+        clustering = LandmarkClustering(topo, landmarks)
+        with pytest.raises(ValueError):
+            clustering.cluster(list(range(3)), 0)
+
+    def test_recovers_planted_clusters(self):
+        topo, landmarks = clustered_topology(num_caches=12, num_clusters=3)
+        clouds = form_cache_clouds(
+            topo, list(range(12)), landmarks, 3, rng=random.Random(1)
+        )
+        assert len(clouds) == 3
+        # Planted structure: cache i belongs to metro (i % 3).
+        for cloud in clouds:
+            metros = {node % 3 for node in cloud}
+            assert len(metros) == 1
+
+    def test_partition_is_complete_and_disjoint(self):
+        topo, landmarks = clustered_topology()
+        clouds = form_cache_clouds(
+            topo, list(range(12)), landmarks, 3, rng=random.Random(2)
+        )
+        seen = [node for cloud in clouds for node in cloud]
+        assert sorted(seen) == list(range(12))
+
+    def test_deterministic_given_rng(self):
+        topo, landmarks = clustered_topology()
+        a = form_cache_clouds(topo, list(range(12)), landmarks, 3, random.Random(5))
+        b = form_cache_clouds(topo, list(range(12)), landmarks, 3, random.Random(5))
+        assert a == b
+
+    def test_clustered_caches_have_similar_rtt_vectors(self):
+        topo, landmarks = clustered_topology()
+        clustering = LandmarkClustering(topo, landmarks)
+        same_metro = clustering.vector_distance(
+            clustering.rtt_vector(0), clustering.rtt_vector(3)
+        )
+        cross_metro = clustering.vector_distance(
+            clustering.rtt_vector(0), clustering.rtt_vector(1)
+        )
+        assert same_metro < cross_metro

@@ -1,0 +1,80 @@
+"""Unit tests for the transport layer."""
+
+import pytest
+
+from repro.network.bandwidth import TrafficCategory, TrafficMeter
+from repro.network.topology import ExplicitTopology
+from repro.network.transport import (
+    CONTROL_MESSAGE_BYTES,
+    TRANSFER_HEADER_BYTES,
+    Transport,
+)
+from repro.simulation.engine import Simulator
+
+
+class TestLatencyModel:
+    def test_no_topology_means_zero_latency(self):
+        transport = Transport()
+        assert transport.latency_minutes(0, 1) == 0.0
+
+    def test_self_send_zero_latency(self):
+        topo = ExplicitTopology([[0, 60_000], [60_000, 0]])
+        transport = Transport(topology=topo)
+        assert transport.latency_minutes(1, 1) == 0.0
+
+    def test_latency_converted_to_minutes(self):
+        topo = ExplicitTopology([[0, 60_000], [60_000, 0]])
+        transport = Transport(topology=topo)
+        assert transport.latency_minutes(0, 1) == 1.0
+        assert transport.rtt_minutes(0, 1) == 2.0
+
+
+class TestAccounting:
+    def test_send_charges_meter(self):
+        meter = TrafficMeter()
+        transport = Transport(meter=meter)
+        transport.send(0, 1, 500, TrafficCategory.PEER_TRANSFER)
+        assert meter.bytes_for(TrafficCategory.PEER_TRANSFER) == 500
+
+    def test_send_control_size(self):
+        meter = TrafficMeter()
+        Transport(meter=meter).send_control(0, 1)
+        assert meter.bytes_for(TrafficCategory.CONTROL) == CONTROL_MESSAGE_BYTES
+
+    def test_send_document_adds_header(self):
+        meter = TrafficMeter()
+        Transport(meter=meter).send_document(
+            0, 1, 1000, TrafficCategory.ORIGIN_FETCH
+        )
+        assert (
+            meter.bytes_for(TrafficCategory.ORIGIN_FETCH)
+            == 1000 + TRANSFER_HEADER_BYTES
+        )
+
+    def test_send_document_rejects_empty_body(self):
+        with pytest.raises(ValueError):
+            Transport().send_document(0, 1, 0, TrafficCategory.ORIGIN_FETCH)
+
+    def test_default_meter_created(self):
+        transport = Transport()
+        transport.send(0, 1, 5, TrafficCategory.CONTROL)
+        assert transport.meter.total_bytes == 5
+
+
+class TestScheduledDelivery:
+    def test_requires_simulator(self):
+        with pytest.raises(RuntimeError):
+            Transport().send_scheduled(
+                0, 1, 10, TrafficCategory.CONTROL, lambda: None
+            )
+
+    def test_delivery_after_latency(self):
+        topo = ExplicitTopology([[0, 120_000], [120_000, 0]])  # 2 minutes
+        sim = Simulator()
+        transport = Transport(topology=topo, simulator=sim)
+        delivered = []
+        transport.send_scheduled(
+            0, 1, 10, TrafficCategory.CONTROL, lambda: delivered.append(sim.now)
+        )
+        sim.run_until(10.0)
+        assert delivered == [2.0]

@@ -1,0 +1,44 @@
+"""Unit tests for the simulation clock."""
+
+import pytest
+
+from repro.simulation.clock import ClockError, SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulationClock(5.5).now == 5.5
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulationClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimulationClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimulationClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_backwards_raises(self):
+        clock = SimulationClock(10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(9.999)
+
+    def test_reset(self):
+        clock = SimulationClock(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulationClock().reset(-0.1)
+
+    def test_repr_mentions_time(self):
+        assert "3.5" in repr(SimulationClock(3.5))

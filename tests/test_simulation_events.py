@@ -1,0 +1,63 @@
+"""Unit tests for event ordering and cancellation."""
+
+import pytest
+
+from repro.simulation.events import Event, EventPriority
+
+
+def noop():
+    return None
+
+
+class TestEventValidation:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Event(-1.0, noop)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError):
+            Event(0.0, "not callable")
+
+
+class TestEventOrdering:
+    def test_earlier_time_sorts_first(self):
+        early = Event(1.0, noop)
+        late = Event(2.0, noop)
+        assert early < late
+
+    def test_priority_breaks_time_ties(self):
+        control = Event(1.0, noop, priority=EventPriority.CONTROL)
+        request = Event(1.0, noop, priority=EventPriority.REQUEST)
+        assert control < request
+
+    def test_sequence_breaks_full_ties(self):
+        first = Event(1.0, noop)
+        second = Event(1.0, noop)
+        assert first < second  # insertion order
+        assert first.seq < second.seq
+
+    def test_priority_classes_are_ordered_by_causality(self):
+        assert (
+            EventPriority.CONTROL
+            < EventPriority.UPDATE
+            < EventPriority.REQUEST
+            < EventPriority.TRANSFER
+            < EventPriority.METRICS
+        )
+
+
+class TestEventCancellation:
+    def test_starts_uncancelled(self):
+        assert not Event(0.0, noop).cancelled
+
+    def test_cancel_sets_flag(self):
+        event = Event(0.0, noop)
+        event.cancel()
+        assert event.cancelled
+
+    def test_repr_reflects_state(self):
+        event = Event(0.0, noop, label="tick")
+        assert "pending" in repr(event)
+        assert "tick" in repr(event)
+        event.cancel()
+        assert "cancelled" in repr(event)

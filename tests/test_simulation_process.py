@@ -1,0 +1,70 @@
+"""Unit tests for the periodic process helper."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.process import PeriodicProcess
+
+
+class TestPeriodicProcess:
+    def test_rejects_non_positive_period(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PeriodicProcess(sim, 0.0, lambda t: None)
+
+    def test_fires_every_period(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 10.0, times.append)
+        process.start()
+        sim.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+        assert process.firings == 3
+
+    def test_first_at_overrides_phase(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 10.0, times.append)
+        process.start(first_at=3.0)
+        sim.run_until(25.0)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_stop_cancels_future_firings(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 5.0, times.append)
+        process.start()
+        sim.run_until(12.0)
+        process.stop()
+        sim.run_until(40.0)
+        assert times == [5.0, 10.0]
+        assert not process.active
+
+    def test_callback_may_stop_the_process(self):
+        sim = Simulator()
+        times = []
+
+        def once(t):
+            times.append(t)
+            process.stop()
+
+        process = PeriodicProcess(sim, 5.0, once)
+        process.start()
+        sim.run_until(50.0)
+        assert times == [5.0]
+
+    def test_double_start_is_idempotent(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 5.0, times.append)
+        process.start()
+        process.start()
+        sim.run_until(6.0)
+        assert times == [5.0]
+
+    def test_active_property(self):
+        sim = Simulator()
+        process = PeriodicProcess(sim, 5.0, lambda t: None)
+        assert not process.active
+        process.start()
+        assert process.active

@@ -1,0 +1,131 @@
+"""Unit tests for the event tracer."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventPriority
+from repro.simulation.tracing import EventTracer
+
+
+class TestLifecycle:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_double_attach_raises(self):
+        sim = Simulator()
+        tracer = EventTracer().attach(sim)
+        with pytest.raises(RuntimeError):
+            tracer.attach(sim)
+
+    def test_detach_restores_scheduling(self):
+        sim = Simulator()
+        tracer = EventTracer().attach(sim)
+        tracer.detach()
+        sim.schedule_at(1.0, lambda: None, label="after-detach")
+        sim.run_until(2.0)
+        assert tracer.dispatched == 0
+
+    def test_detach_twice_is_noop(self):
+        tracer = EventTracer().attach(Simulator())
+        tracer.detach()
+        tracer.detach()
+
+
+class TestRecording:
+    def test_records_dispatches_in_order(self):
+        sim = Simulator()
+        tracer = EventTracer().attach(sim)
+        sim.schedule_at(2.0, lambda: None, label="b")
+        sim.schedule_at(1.0, lambda: None, label="a")
+        sim.run_until(5.0)
+        assert tracer.labels_in_order() == ["a", "b"]
+        assert tracer.records()[0].time == 1.0
+        assert tracer.records()[0].index == 0
+
+    def test_priority_captured(self):
+        sim = Simulator()
+        tracer = EventTracer().attach(sim)
+        sim.schedule_at(1.0, lambda: None, priority=EventPriority.CONTROL, label="c")
+        sim.run_until(2.0)
+        assert tracer.records()[0].priority is EventPriority.CONTROL
+
+    def test_unlabelled_events_get_placeholder(self):
+        sim = Simulator()
+        tracer = EventTracer().attach(sim)
+        sim.schedule_at(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert tracer.labels_in_order() == ["<unlabelled>"]
+
+    def test_pre_attach_events_not_traced(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None, label="early")
+        tracer = EventTracer().attach(sim)
+        sim.schedule_at(2.0, lambda: None, label="late")
+        sim.run_until(5.0)
+        assert tracer.labels_in_order() == ["late"]
+
+    def test_callback_still_runs(self):
+        sim = Simulator()
+        EventTracer().attach(sim)
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(True), label="x")
+        sim.run_until(2.0)
+        assert fired == [True]
+
+    def test_ring_buffer_bounded(self):
+        sim = Simulator()
+        tracer = EventTracer(capacity=5).attach(sim)
+        for i in range(10):
+            sim.schedule_at(float(i + 1), lambda: None, label=f"e{i}")
+        sim.run_until(20.0)
+        assert tracer.dispatched == 10
+        assert len(tracer.records()) == 5
+        assert tracer.labels_in_order() == [f"e{i}" for i in range(5, 10)]
+
+
+class TestQueries:
+    def build(self):
+        sim = Simulator()
+        tracer = EventTracer().attach(sim)
+        for t, label in ((1.0, "tick"), (2.0, "tock"), (3.0, "tick")):
+            sim.schedule_at(t, lambda: None, label=label)
+        sim.run_until(5.0)
+        return tracer
+
+    def test_with_label(self):
+        tracer = self.build()
+        assert len(tracer.with_label("tick")) == 2
+
+    def test_matching(self):
+        tracer = self.build()
+        late = tracer.matching(lambda r: r.time >= 2.0)
+        assert [r.label for r in late] == ["tock", "tick"]
+
+    def test_between(self):
+        tracer = self.build()
+        assert [r.label for r in tracer.between(1.5, 3.0)] == ["tock"]
+
+    def test_clear_keeps_total(self):
+        tracer = self.build()
+        tracer.clear()
+        assert tracer.records() == []
+        assert tracer.dispatched == 3
+
+    def test_dump_format(self):
+        tracer = self.build()
+        dump = tracer.dump(limit=2)
+        assert "tock" in dump and "tick" in dump
+        assert dump.count("\n") == 1
+
+
+class TestIntegrationWithPeriodicProcess:
+    def test_traces_cycle_firings(self):
+        from repro.simulation.process import PeriodicProcess
+
+        sim = Simulator()
+        tracer = EventTracer().attach(sim)
+        process = PeriodicProcess(sim, 5.0, lambda t: None, label="cycle")
+        process.start()
+        sim.run_until(16.0)
+        assert len(tracer.with_label("cycle")) == 3

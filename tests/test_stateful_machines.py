@@ -1,0 +1,180 @@
+"""Hypothesis stateful machines for the core mutable data structures.
+
+Rule-based state machines drive :class:`CacheStorage` and
+:class:`BeaconRing` through arbitrary interleavings of their operations,
+checking invariants a shadow model maintains in parallel. These catch
+bookkeeping desyncs (byte accounting, policy/tracked-set drift, arc
+partition corruption) that example-based tests rarely reach.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.ring import BeaconRing
+from repro.edgecache.replacement import make_policy
+from repro.edgecache.storage import CacheStorage
+
+DOC_IDS = st.integers(min_value=0, max_value=19)
+SIZES = st.integers(min_value=10, max_value=400)
+
+
+class StorageMachine(RuleBasedStateMachine):
+    """CacheStorage under random admit/access/refresh/remove sequences."""
+
+    def __init__(self):
+        super().__init__()
+        self.now = 0.0
+
+    @initialize(
+        capacity=st.one_of(st.none(), st.integers(min_value=400, max_value=1200)),
+        policy_name=st.sampled_from(["lru", "fifo", "lfu", "gdsf"]),
+    )
+    def setup(self, capacity, policy_name):
+        self.capacity = capacity
+        self.storage = CacheStorage(
+            capacity_bytes=capacity, policy=make_policy(policy_name)
+        )
+        self.model = {}  # doc_id -> size
+
+    def _tick(self):
+        self.now += 1.0
+        return self.now
+
+    @rule(doc_id=DOC_IDS, size=SIZES, version=st.integers(0, 5))
+    def admit(self, doc_id, size, version):
+        now = self._tick()
+        if doc_id in self.model:
+            # Re-admission refreshes in place at the existing entry.
+            self.storage.admit(doc_id, self.model[doc_id], version, now)
+            return
+        evicted = self.storage.admit(doc_id, size, version, now)
+        if evicted is None:
+            assert self.capacity is not None and size > self.capacity
+            return
+        for victim in evicted:
+            assert victim in self.model
+            del self.model[victim]
+        self.model[doc_id] = size
+
+    @rule(doc_id=DOC_IDS)
+    def access(self, doc_id):
+        now = self._tick()
+        if doc_id in self.model:
+            doc = self.storage.access(doc_id, now)
+            assert doc.doc_id == doc_id
+        else:
+            try:
+                self.storage.access(doc_id, now)
+                raise AssertionError("access to absent doc must raise")
+            except KeyError:
+                pass
+
+    @rule(doc_id=DOC_IDS)
+    @precondition(lambda self: self.model)
+    def remove_resident(self, doc_id):
+        now = self._tick()
+        if doc_id not in self.model:
+            return
+        self.storage.remove(doc_id, now)
+        del self.model[doc_id]
+
+    @rule(doc_id=DOC_IDS, version=st.integers(1, 9))
+    def refresh(self, doc_id, version):
+        now = self._tick()
+        if doc_id not in self.model:
+            return
+        self.storage.refresh_version(doc_id, version, now=now)
+        assert self.storage.get(doc_id).version == version
+
+    @invariant()
+    def resident_set_matches_model(self):
+        assert set(self.storage) == set(self.model)
+        assert len(self.storage) == len(self.model)
+        assert len(self.storage.policy) == len(self.model)
+
+    @invariant()
+    def byte_accounting_exact(self):
+        assert self.storage.used_bytes == sum(self.model.values())
+
+    @invariant()
+    def never_over_capacity(self):
+        if self.capacity is not None:
+            assert self.storage.used_bytes <= self.capacity
+
+
+class RingMachine(RuleBasedStateMachine):
+    """BeaconRing under random rebalances and membership churn."""
+
+    INTRA_GEN = 48
+
+    @initialize(size=st.integers(min_value=1, max_value=6))
+    def setup(self, size):
+        self.members = list(range(size))
+        self.next_member = size
+        self.ring = BeaconRing(self.members, self.INTRA_GEN)
+        self.rng = random.Random(99)
+
+    @rule(seed=st.integers(0, 10_000))
+    def rebalance(self, seed):
+        rng = random.Random(seed)
+        per_irh = {k: rng.uniform(0, 5) for k in range(self.INTRA_GEN)}
+        loads = {
+            m: sum(per_irh[k] for k in self.ring.arc_of(m).values())
+            for m in self.ring.members
+        }
+        self.ring.rebalance(loads, per_irh)
+
+    @rule()
+    @precondition(lambda self: len(self.members) >= 2)
+    def remove_member(self):
+        victim = self.rng.choice(self.members)
+        self.ring.remove_member(victim)
+        self.members.remove(victim)
+
+    @rule(position_seed=st.integers(0, 6))
+    @precondition(lambda self: len(self.members) < 8)
+    def add_member(self, position_seed):
+        position = position_seed % (len(self.members) + 1)
+        donor_index = position % len(self.members)
+        donor = self.ring.members[donor_index]
+        if self.ring.arc_of(donor).width < 2:
+            return
+        member = self.next_member
+        self.next_member += 1
+        self.ring.add_member(member, position)
+        self.members.append(member)
+
+    @invariant()
+    def membership_consistent(self):
+        assert sorted(self.ring.members) == sorted(self.members)
+
+    @invariant()
+    def arcs_partition_the_circle(self):
+        total = sum(self.ring.arc_of(m).width for m in self.ring.members)
+        assert total == self.INTRA_GEN
+        table = self.ring.owner_table()
+        for member in self.ring.members:
+            assert table.count(member) == self.ring.arc_of(member).width
+            assert self.ring.arc_of(member).width >= 1
+
+    @invariant()
+    def owner_lookup_agrees_with_arcs(self):
+        for irh in range(0, self.INTRA_GEN, 7):
+            owner = self.ring.owner_of(irh)
+            assert self.ring.arc_of(owner).contains(irh)
+
+
+TestStorageMachine = StorageMachine.TestCase
+TestStorageMachine.settings = settings(max_examples=40, deadline=None, stateful_step_count=40)
+
+TestRingMachine = RingMachine.TestCase
+TestRingMachine.settings = settings(max_examples=40, deadline=None, stateful_step_count=30)

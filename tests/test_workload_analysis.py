@@ -1,0 +1,154 @@
+"""Unit tests for workload analysis utilities."""
+
+import math
+import random
+
+import pytest
+
+from repro.workload.analysis import (
+    fit_zipf_alpha,
+    gini_coefficient,
+    hot_set,
+    popularity_counts,
+    popularity_drift,
+    rate_timeline,
+    summarize,
+)
+from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
+from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
+from repro.workload.trace import RequestRecord, Trace
+from repro.workload.zipf import ZipfSampler
+
+
+class TestPopularityCounts:
+    def test_counts(self):
+        requests = [RequestRecord(0.0, 0, 1), RequestRecord(1.0, 0, 1)]
+        assert popularity_counts(requests) == {1: 2}
+
+    def test_hot_set_order_and_ties(self):
+        requests = [
+            RequestRecord(0.0, 0, 5),
+            RequestRecord(1.0, 0, 5),
+            RequestRecord(2.0, 0, 3),
+            RequestRecord(3.0, 0, 9),
+        ]
+        assert hot_set(requests, 2) == [5, 3]  # tie 3 vs 9 → lower id
+
+
+class TestFitZipfAlpha:
+    def test_requires_enough_items(self):
+        with pytest.raises(ValueError):
+            fit_zipf_alpha([10, 10])
+
+    def test_uniform_counts_fit_alpha_zero(self):
+        assert fit_zipf_alpha([50] * 20) == pytest.approx(0.0, abs=1e-9)
+
+    def test_exact_zipf_counts_recover_alpha(self):
+        counts = [int(10_000 / (rank ** 0.9)) for rank in range(1, 200)]
+        assert fit_zipf_alpha(counts) == pytest.approx(0.9, abs=0.05)
+
+    @pytest.mark.parametrize("alpha", [0.5, 0.9])
+    def test_recovers_alpha_from_samples(self, alpha):
+        sampler = ZipfSampler(500, alpha, random.Random(0))
+        counts = [0] * 500
+        for _ in range(100_000):
+            counts[sampler.sample()] += 1
+        fitted = fit_zipf_alpha(counts, min_count=5)
+        assert fitted == pytest.approx(alpha, abs=0.15)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_concentration_near_one(self):
+        assert gini_coefficient([0] * 99 + [1000]) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_more_skew_higher_gini(self):
+        mild = [int(100 / (r ** 0.3)) for r in range(1, 50)]
+        strong = [int(100 / (r ** 1.2)) + 1 for r in range(1, 50)]
+        assert gini_coefficient(strong) > gini_coefficient(mild)
+
+
+class TestDriftAndTimeline:
+    def test_drift_requires_positive_window(self):
+        with pytest.raises(ValueError):
+            popularity_drift(Trace(), window=0.0)
+
+    def test_static_popularity_has_zero_drift(self):
+        requests = [
+            RequestRecord(float(t), 0, doc)
+            for t in range(100)
+            for doc in range(5)
+        ]
+        drift = popularity_drift(Trace(requests=requests), window=20.0, k=5)
+        assert all(turnover == 0.0 for _, turnover in drift)
+
+    def test_sydney_trace_shows_drift(self):
+        trace = SydneyTraceGenerator(
+            SydneyConfig(
+                num_documents=400,
+                num_caches=4,
+                peak_request_rate_per_cache=60.0,
+                base_update_rate=5.0,
+                duration_minutes=120.0,
+                diurnal_period_minutes=120.0,
+                num_epochs=4,
+                drift_pool=100,
+                seed=2,
+            )
+        ).build_trace()
+        drift = popularity_drift(trace, window=30.0, k=20)
+        assert any(turnover > 0.2 for _, turnover in drift)
+
+    def test_rate_timeline_shows_diurnal_wave(self):
+        trace = SydneyTraceGenerator(
+            SydneyConfig(
+                num_documents=300,
+                num_caches=4,
+                peak_request_rate_per_cache=60.0,
+                base_update_rate=5.0,
+                duration_minutes=60.0,
+                diurnal_period_minutes=60.0,
+                num_epochs=2,
+                drift_pool=50,
+                seed=2,
+            )
+        ).build_trace()
+        timeline = rate_timeline(trace, window=10.0)
+        rates = [rate for _, rate in timeline]
+        peak = max(rates)
+        trough = min(rates)
+        assert peak > 2.0 * max(trough, 1e-9)
+
+    def test_rate_timeline_empty_trace(self):
+        assert rate_timeline(Trace(), window=10.0) == []
+
+
+class TestSummarize:
+    def test_summary_of_zipf_trace(self):
+        trace = SyntheticTraceGenerator(
+            WorkloadConfig(
+                num_documents=400,
+                num_caches=4,
+                request_rate_per_cache=60.0,
+                update_rate=10.0,
+                alpha_requests=0.9,
+                duration_minutes=60.0,
+                seed=1,
+            )
+        ).build_trace()
+        summary = summarize(trace)
+        assert summary["requests"] == len(trace.requests)
+        assert summary["unique_documents"] <= 400
+        assert 0.5 < summary["zipf_alpha"] < 1.3
+        assert summary["gini"] > 0.4
+
+    def test_summary_handles_tiny_trace(self):
+        trace = Trace(requests=[RequestRecord(0.0, 0, 1)])
+        summary = summarize(trace)
+        assert math.isnan(summary["zipf_alpha"])

@@ -1,0 +1,129 @@
+"""Unit + statistical tests for arrival processes."""
+
+import random
+
+import pytest
+
+from repro.workload.arrivals import (
+    MMPPArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+    index_of_dispersion,
+)
+
+
+class TestPoisson:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+
+    def test_zero_rate_is_silent(self):
+        assert list(PoissonArrivals(0.0).arrivals(100.0, random.Random(0))) == []
+
+    def test_times_sorted_and_bounded(self):
+        times = list(PoissonArrivals(5.0).arrivals(50.0, random.Random(1)))
+        assert times == sorted(times)
+        assert all(0 <= t < 50.0 for t in times)
+
+    def test_volume_matches_mean_rate(self):
+        process = PoissonArrivals(8.0)
+        times = list(process.arrivals(500.0, random.Random(2)))
+        assert len(times) / 500.0 == pytest.approx(process.mean_rate(), rel=0.1)
+
+    def test_dispersion_near_one(self):
+        dispersion = index_of_dispersion(
+            PoissonArrivals(10.0), duration=500.0, window=5.0
+        )
+        assert dispersion == pytest.approx(1.0, abs=0.3)
+
+
+class TestMMPP:
+    def make(self):
+        return MMPPArrivals(
+            quiet_rate=2.0, burst_rate=40.0, quiet_mean=20.0, burst_mean=2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals(-1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            MMPPArrivals(1, 2, 0, 1)
+        with pytest.raises(ValueError):
+            MMPPArrivals(5, 2, 1, 1)  # burst slower than quiet
+
+    def test_mean_rate_formula(self):
+        process = self.make()
+        # (2*20 + 40*2) / 22 = 120/22
+        assert process.mean_rate() == pytest.approx(120.0 / 22.0)
+
+    def test_volume_matches_mean_rate(self):
+        process = self.make()
+        times = list(process.arrivals(2_000.0, random.Random(3)))
+        assert len(times) / 2_000.0 == pytest.approx(process.mean_rate(), rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        process = self.make()
+        bursty = index_of_dispersion(process, duration=2_000.0, window=5.0)
+        poisson = index_of_dispersion(
+            PoissonArrivals(process.mean_rate()), duration=2_000.0, window=5.0
+        )
+        assert bursty > 2.0 * poisson
+
+    def test_burstiness_metric(self):
+        assert self.make().burstiness() > 5.0
+
+    def test_times_sorted(self):
+        times = list(self.make().arrivals(200.0, random.Random(4)))
+        assert times == sorted(times)
+        assert all(0 <= t < 200.0 for t in times)
+
+
+class TestOnOff:
+    def make(self):
+        return OnOffArrivals(on_rate=20.0, on_mean=5.0, off_mean=15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffArrivals(-1, 1, 1)
+        with pytest.raises(ValueError):
+            OnOffArrivals(1, 0, 1)
+
+    def test_mean_rate_is_duty_cycled(self):
+        assert self.make().mean_rate() == pytest.approx(20.0 * 5.0 / 20.0)
+
+    def test_volume_matches_mean_rate(self):
+        process = self.make()
+        times = list(process.arrivals(2_000.0, random.Random(5)))
+        assert len(times) / 2_000.0 == pytest.approx(process.mean_rate(), rel=0.15)
+
+    def test_off_periods_create_silence(self):
+        # With long OFF periods, some windows must be empty.
+        process = OnOffArrivals(on_rate=30.0, on_mean=2.0, off_mean=20.0)
+        counts = {}
+        for t in process.arrivals(500.0, random.Random(6)):
+            counts[int(t / 5.0)] = counts.get(int(t / 5.0), 0) + 1
+        assert len(counts) < 100  # far from all 100 windows occupied
+
+    def test_dispersion_above_poisson(self):
+        process = self.make()
+        assert index_of_dispersion(process, 2_000.0, 5.0) > 2.0
+
+
+class TestDispersionHelper:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            index_of_dispersion(PoissonArrivals(1.0), duration=0.0, window=1.0)
+        with pytest.raises(ValueError):
+            index_of_dispersion(PoissonArrivals(1.0), duration=10.0, window=20.0)
+
+    def test_empty_process(self):
+        assert index_of_dispersion(PoissonArrivals(0.0), 100.0, 10.0) == 0.0
+
+    def test_deterministic_given_rng(self):
+        a = index_of_dispersion(
+            PoissonArrivals(5.0), 100.0, 5.0, rng=random.Random(7)
+        )
+        b = index_of_dispersion(
+            PoissonArrivals(5.0), 100.0, 5.0, rng=random.Random(7)
+        )
+        assert a == b

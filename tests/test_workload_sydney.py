@@ -1,0 +1,119 @@
+"""Unit tests for the Sydney-like trace generator."""
+
+import pytest
+
+from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_documents=400,
+        num_caches=5,
+        peak_request_rate_per_cache=40.0,
+        base_update_rate=20.0,
+        duration_minutes=120.0,
+        diurnal_period_minutes=120.0,
+        num_epochs=4,
+        drift_pool=100,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return SydneyConfig(**defaults)
+
+
+class TestSydneyConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_config(num_documents=0)
+        with pytest.raises(ValueError):
+            small_config(diurnal_floor=0.0)
+        with pytest.raises(ValueError):
+            small_config(diurnal_period_minutes=0.0)
+        with pytest.raises(ValueError):
+            small_config(live_fraction=0.0)
+        with pytest.raises(ValueError):
+            small_config(live_update_share=1.5)
+        with pytest.raises(ValueError):
+            small_config(drift_pool=10_000)
+
+    def test_defaults_match_paper_trace_shape(self):
+        config = SydneyConfig()
+        assert config.num_documents == 52_000
+        assert config.duration_minutes == 1440.0
+
+
+class TestDiurnalEnvelope:
+    def test_trough_at_start_and_peak_mid_period(self):
+        gen = SydneyTraceGenerator(small_config())
+        assert gen.diurnal_factor(0.0) == pytest.approx(0.25)
+        assert gen.diurnal_factor(60.0) == pytest.approx(1.0)
+
+    def test_factor_bounded(self):
+        gen = SydneyTraceGenerator(small_config())
+        for t in range(0, 120, 7):
+            assert 0.25 <= gen.diurnal_factor(float(t)) <= 1.0
+
+
+class TestEpochs:
+    def test_epoch_index_progression(self):
+        gen = SydneyTraceGenerator(small_config())
+        assert gen.epoch_at(0.0) == 0
+        assert gen.epoch_at(119.9) == 3
+        assert gen.epoch_at(30.0) == 1
+
+    def test_epoch_at_clamps_to_last(self):
+        gen = SydneyTraceGenerator(small_config())
+        assert gen.epoch_at(1e9) == 3
+
+    def test_hot_set_rotates_between_epochs(self):
+        gen = SydneyTraceGenerator(small_config())
+        head0 = gen._epoch_maps[0][:20]
+        head1 = gen._epoch_maps[1][:20]
+        assert head0 != head1  # drift actually happened
+
+    def test_tail_is_stable_across_epochs(self):
+        gen = SydneyTraceGenerator(small_config())
+        tail0 = gen._epoch_maps[0][100:]
+        tail1 = gen._epoch_maps[1][100:]
+        assert tail0 == tail1  # only the drift pool reshuffles
+
+
+class TestTraceGeneration:
+    def test_reproducible(self):
+        a = SydneyTraceGenerator(small_config()).build_trace()
+        b = SydneyTraceGenerator(small_config()).build_trace()
+        assert a.requests == b.requests
+        assert a.updates == b.updates
+
+    def test_records_within_bounds(self):
+        config = small_config()
+        trace = SydneyTraceGenerator(config).build_trace()
+        for record in trace.requests:
+            assert 0 <= record.time < config.duration_minutes
+            assert 0 <= record.cache_id < config.num_caches
+            assert 0 <= record.doc_id < config.num_documents
+
+    def test_diurnal_modulation_visible_in_volume(self):
+        config = small_config()
+        trace = SydneyTraceGenerator(config).build_trace()
+        trough = sum(1 for r in trace.requests if r.time < 20.0)
+        peak = sum(1 for r in trace.requests if 50.0 <= r.time < 70.0)
+        assert peak > 1.5 * trough
+
+    def test_updates_concentrate_on_live_set(self):
+        config = small_config(base_update_rate=60.0)
+        gen = SydneyTraceGenerator(config)
+        trace = gen.build_trace()
+        live = set(gen.live_documents)
+        live_updates = sum(1 for u in trace.updates if u.doc_id in live)
+        assert live_updates / len(trace.updates) > 0.75
+
+    def test_live_set_size(self):
+        config = small_config(live_fraction=0.05)
+        gen = SydneyTraceGenerator(config)
+        assert len(gen.live_documents) == 20
+
+    def test_update_volume_tracks_rate(self):
+        config = small_config(base_update_rate=30.0)
+        trace = SydneyTraceGenerator(config).build_trace()
+        assert len(trace.updates) == pytest.approx(30.0 * 120.0, rel=0.15)

@@ -1,0 +1,108 @@
+"""Unit + property tests for trace records and stream merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.trace import (
+    RequestRecord,
+    Trace,
+    UpdateRecord,
+    merge_streams,
+)
+
+
+class TestRecords:
+    def test_request_record_validation(self):
+        with pytest.raises(ValueError):
+            RequestRecord(time=-1.0, cache_id=0, doc_id=0)
+        with pytest.raises(ValueError):
+            RequestRecord(time=0.0, cache_id=-1, doc_id=0)
+        with pytest.raises(ValueError):
+            RequestRecord(time=0.0, cache_id=0, doc_id=-1)
+
+    def test_update_record_validation(self):
+        with pytest.raises(ValueError):
+            UpdateRecord(time=-0.5, doc_id=0)
+
+    def test_records_sort_by_time(self):
+        records = [RequestRecord(2.0, 0, 0), RequestRecord(1.0, 1, 1)]
+        assert sorted(records)[0].time == 1.0
+
+
+class TestTrace:
+    def test_sorts_inputs(self):
+        trace = Trace(
+            requests=[RequestRecord(5.0, 0, 0), RequestRecord(1.0, 0, 1)],
+            updates=[UpdateRecord(3.0, 2), UpdateRecord(0.5, 3)],
+        )
+        assert [r.time for r in trace.requests] == [1.0, 5.0]
+        assert [u.time for u in trace.updates] == [0.5, 3.0]
+
+    def test_duration(self):
+        trace = Trace(
+            requests=[RequestRecord(5.0, 0, 0)], updates=[UpdateRecord(9.0, 1)]
+        )
+        assert trace.duration == 9.0
+
+    def test_empty_trace_duration_zero(self):
+        assert Trace().duration == 0.0
+
+    def test_len_counts_both_kinds(self):
+        trace = Trace(
+            requests=[RequestRecord(1.0, 0, 0)],
+            updates=[UpdateRecord(2.0, 0), UpdateRecord(3.0, 1)],
+        )
+        assert len(trace) == 3
+
+    def test_histograms(self):
+        trace = Trace(
+            requests=[RequestRecord(1.0, 0, 7), RequestRecord(2.0, 1, 7)],
+            updates=[UpdateRecord(1.5, 7)],
+        )
+        assert trace.request_counts_by_doc() == {7: 2}
+        assert trace.update_counts_by_doc() == {7: 1}
+
+
+class TestMergeStreams:
+    def test_global_time_order(self):
+        requests = [RequestRecord(1.0, 0, 0), RequestRecord(3.0, 0, 0)]
+        updates = [UpdateRecord(2.0, 0)]
+        times = [r.time for r in merge_streams(requests, updates)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_update_wins_time_tie(self):
+        requests = [RequestRecord(1.0, 0, 0)]
+        updates = [UpdateRecord(1.0, 0)]
+        merged = list(merge_streams(requests, updates))
+        assert isinstance(merged[0], UpdateRecord)
+
+    def test_lazy_merge_accepts_generators(self):
+        def reqs():
+            yield RequestRecord(1.0, 0, 0)
+
+        def upds():
+            yield UpdateRecord(0.5, 0)
+
+        merged = merge_streams(reqs(), upds())
+        assert [type(r).__name__ for r in merged] == [
+            "UpdateRecord",
+            "RequestRecord",
+        ]
+
+    @given(
+        req_times=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False), max_size=40
+        ),
+        upd_times=st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False), max_size=40
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_sorted_and_complete(self, req_times, upd_times):
+        requests = sorted(RequestRecord(t, 0, 0) for t in req_times)
+        updates = sorted(UpdateRecord(t, 0) for t in upd_times)
+        merged = list(merge_streams(requests, updates))
+        assert len(merged) == len(requests) + len(updates)
+        times = [record.time for record in merged]
+        assert times == sorted(times)

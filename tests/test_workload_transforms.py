@@ -1,0 +1,135 @@
+"""Unit + property tests for trace transformations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.trace import RequestRecord, Trace, UpdateRecord
+from repro.workload.transforms import (
+    clip,
+    concatenate,
+    filter_documents,
+    overlay,
+    remap_caches,
+    restrict_caches,
+    sample_requests,
+    scale_time,
+    shift,
+)
+
+
+def sample_trace():
+    return Trace(
+        requests=[
+            RequestRecord(1.0, 0, 10),
+            RequestRecord(2.0, 1, 11),
+            RequestRecord(5.0, 0, 10),
+        ],
+        updates=[UpdateRecord(3.0, 10)],
+    )
+
+
+class TestShift:
+    def test_shifts_all_records(self):
+        shifted = shift(sample_trace(), 10.0)
+        assert [r.time for r in shifted.requests] == [11.0, 12.0, 15.0]
+        assert shifted.updates[0].time == 13.0
+
+    def test_negative_shift_into_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            shift(sample_trace(), -2.0)
+
+    def test_valid_negative_shift(self):
+        shifted = shift(sample_trace(), -1.0)
+        assert shifted.requests[0].time == 0.0
+
+
+class TestScaleTime:
+    def test_compresses(self):
+        scaled = scale_time(sample_trace(), 0.5)
+        assert [r.time for r in scaled.requests] == [0.5, 1.0, 2.5]
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            scale_time(sample_trace(), 0.0)
+
+
+class TestClip:
+    def test_half_open_window_rebased(self):
+        clipped = clip(sample_trace(), 2.0, 5.0)
+        assert [r.time for r in clipped.requests] == [0.0]
+        assert [u.time for u in clipped.updates] == [1.0]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            clip(sample_trace(), 5.0, 5.0)
+
+
+class TestCompose:
+    def test_concatenate_sequences_in_time(self):
+        trace = sample_trace()
+        joined = concatenate([trace, trace])
+        assert len(joined) == 2 * len(trace)
+        # Second copy starts after the first copy's duration (5.0).
+        assert joined.requests[3].time == pytest.approx(6.0)
+
+    def test_concatenate_requires_input(self):
+        with pytest.raises(ValueError):
+            concatenate([])
+
+    def test_overlay_preserves_timeline(self):
+        joined = overlay([sample_trace(), shift(sample_trace(), 0.5)])
+        assert len(joined) == 2 * len(sample_trace())
+        times = [r.time for r in joined.requests]
+        assert times == sorted(times)
+
+
+class TestFilters:
+    def test_filter_documents(self):
+        filtered = filter_documents(sample_trace(), lambda d: d == 10)
+        assert all(r.doc_id == 10 for r in filtered.requests)
+        assert len(filtered.requests) == 2
+        assert len(filtered.updates) == 1
+
+    def test_restrict_caches_keeps_updates(self):
+        restricted = restrict_caches(sample_trace(), [0])
+        assert {r.cache_id for r in restricted.requests} == {0}
+        assert len(restricted.updates) == 1
+
+    def test_restrict_needs_caches(self):
+        with pytest.raises(ValueError):
+            restrict_caches(sample_trace(), [])
+
+    def test_remap_caches(self):
+        remapped = remap_caches(sample_trace(), {0: 5, 1: 6})
+        assert {r.cache_id for r in remapped.requests} == {5, 6}
+
+    def test_remap_missing_mapping_raises(self):
+        with pytest.raises(KeyError):
+            remap_caches(sample_trace(), {0: 5})
+
+    def test_sample_requests_keeps_updates(self):
+        sampled = sample_requests(sample_trace(), 2)
+        assert len(sampled.requests) == 2  # indices 0 and 2
+        assert len(sampled.updates) == 1
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            sample_requests(sample_trace(), 0)
+
+
+times = st.floats(min_value=0, max_value=1e4, allow_nan=False)
+
+
+@given(
+    req_times=st.lists(times, max_size=30),
+    offset=st.floats(min_value=0, max_value=100),
+    factor=st.floats(min_value=0.1, max_value=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_transforms_preserve_record_counts_and_order(req_times, offset, factor):
+    trace = Trace(requests=[RequestRecord(t, 0, 0) for t in req_times])
+    for transformed in (shift(trace, offset), scale_time(trace, factor)):
+        assert len(transformed.requests) == len(trace.requests)
+        out_times = [r.time for r in transformed.requests]
+        assert out_times == sorted(out_times)
