@@ -11,10 +11,16 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.experiments.figures import SMALL_SCALE
+from repro.experiments.parallel import resolve_jobs
 from repro.experiments.reporting import save_result
 
 #: The default scale for all figure benches (seconds per run, shapes hold).
 BENCH_SCALE = SMALL_SCALE
+
+#: Worker processes for the sweep-heavy benches, from the ``REPRO_JOBS``
+#: environment variable (``REPRO_JOBS=4 pytest benchmarks`` fans the figure
+#: sweeps out over four processes; results are value-identical to serial).
+BENCH_JOBS = resolve_jobs()
 
 #: Reduced-duration scale for the sweep-heavy figures (5 and 6).
 SWEEP_SCALE = replace(

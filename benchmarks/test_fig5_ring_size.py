@@ -6,13 +6,13 @@ Paper finding: 2-point rings already beat static significantly; larger rings
 improve balance incrementally (at higher sub-range determination cost).
 """
 
-from benchmarks.conftest import SWEEP_SCALE, show
+from benchmarks.conftest import BENCH_JOBS, SWEEP_SCALE, show
 from repro.experiments.figures import figure5
 
 
 def test_fig5_ring_size(benchmark):
     result = benchmark.pedantic(
-        lambda: figure5(SWEEP_SCALE), rounds=1, iterations=1
+        lambda: figure5(SWEEP_SCALE, jobs=BENCH_JOBS), rounds=1, iterations=1
     )
     show(result.render())
 

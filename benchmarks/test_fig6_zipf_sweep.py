@@ -6,13 +6,13 @@ variation rises with skew for both, far faster for static hashing — ~45 %
 worse than dynamic at parameter 0.9.
 """
 
-from benchmarks.conftest import SWEEP_SCALE, show
+from benchmarks.conftest import BENCH_JOBS, SWEEP_SCALE, show
 from repro.experiments.figures import figure6
 
 
 def test_fig6_zipf_sweep(benchmark):
     result = benchmark.pedantic(
-        lambda: figure6(SWEEP_SCALE), rounds=1, iterations=1
+        lambda: figure6(SWEEP_SCALE, jobs=BENCH_JOBS), rounds=1, iterations=1
     )
     show(result.render())
 

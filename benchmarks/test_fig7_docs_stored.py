@@ -8,13 +8,13 @@ at low update rates and progressively less as consistency maintenance gets
 expensive.
 """
 
-from benchmarks.conftest import BENCH_SCALE, show
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE, show
 from repro.experiments.figures import figure7_and_8
 
 
 def test_fig7_docs_stored(benchmark):
     stored, _ = benchmark.pedantic(
-        lambda: figure7_and_8(BENCH_SCALE), rounds=1, iterations=1
+        lambda: figure7_and_8(BENCH_SCALE, jobs=BENCH_JOBS), rounds=1, iterations=1
     )
     stored.figure = "Figure 7"
     show(stored.render())

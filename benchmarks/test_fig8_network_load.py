@@ -6,13 +6,13 @@ replica population makes update fan-out expensive); beacon-point placement
 is expensive at all rates because nearly every request crosses the cloud.
 """
 
-from benchmarks.conftest import BENCH_SCALE, show
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE, show
 from repro.experiments.figures import figure7_and_8
 
 
 def test_fig8_network_load(benchmark):
     _, traffic = benchmark.pedantic(
-        lambda: figure7_and_8(BENCH_SCALE), rounds=1, iterations=1
+        lambda: figure7_and_8(BENCH_SCALE, jobs=BENCH_JOBS), rounds=1, iterations=1
     )
     traffic.figure = "Figure 8"
     show(traffic.render())

@@ -8,13 +8,13 @@ already at low update rates (disk-space contention), and grows further as
 updates dominate.
 """
 
-from benchmarks.conftest import BENCH_SCALE, show
+from benchmarks.conftest import BENCH_JOBS, BENCH_SCALE, show
 from repro.experiments.figures import figure9
 
 
 def test_fig9_network_load_limited(benchmark):
     traffic = benchmark.pedantic(
-        lambda: figure9(BENCH_SCALE), rounds=1, iterations=1
+        lambda: figure9(BENCH_SCALE, jobs=BENCH_JOBS), rounds=1, iterations=1
     )
     show(traffic.render())
 

@@ -17,6 +17,7 @@ the paper's figures can be regenerated without pytest.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
@@ -69,6 +70,30 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for experiment sweeps (0 = all CPUs; "
+        "default: the REPRO_JOBS environment variable, else serial)",
+    )
+
+
+def _jobs_kwargs(func, args) -> dict:
+    """``{"jobs": N}`` when ``func`` accepts a job count, else ``{}``.
+
+    A few extension experiments drive bespoke simulation loops with no
+    sweep to parallelize; those take no ``jobs`` parameter.
+    """
+    params = inspect.signature(func).parameters
+    accepts_jobs = "jobs" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
+    return {"jobs": args.jobs} if accepts_jobs else {}
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -79,17 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
     fig = subparsers.add_parser("figure", help="reproduce one paper figure (3-9)")
     fig.add_argument("number", choices=sorted(_FIGURES))
     _add_scale(fig)
+    _add_jobs(fig)
 
     allfigs = subparsers.add_parser("figures", help="reproduce every figure")
     _add_scale(allfigs)
+    _add_jobs(allfigs)
 
     abl = subparsers.add_parser("ablation", help="run one ablation study")
     abl.add_argument("name", choices=sorted(_ABLATIONS))
     _add_scale(abl)
+    _add_jobs(abl)
 
     ext = subparsers.add_parser("extension", help="run one extension experiment")
     ext.add_argument("name", choices=sorted(_EXTENSIONS))
     _add_scale(ext)
+    _add_jobs(ext)
 
     trace = subparsers.add_parser("trace", help="generate a synthetic trace file")
     trace.add_argument("--documents", type=int, default=1000)
@@ -133,7 +162,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_figure(args) -> int:
     scale = _SCALES[args.scale]
-    result = _FIGURES[args.number](scale)
+    func = _FIGURES[args.number]
+    result = func(scale, **_jobs_kwargs(func, args))
     if isinstance(result, tuple):
         for part in result:
             print(part.render())
@@ -146,22 +176,24 @@ def _cmd_figures(args) -> int:
     scale = _SCALES[args.scale]
     # Figures 7 and 8 share their runs; regenerate them together.
     for number in ("3", "4", "5", "6"):
-        print(_FIGURES[number](scale).render())
-    stored, traffic = figures.figure7_and_8(scale)
+        print(_FIGURES[number](scale, jobs=args.jobs).render())
+    stored, traffic = figures.figure7_and_8(scale, jobs=args.jobs)
     stored.figure, traffic.figure = "Figure 7", "Figure 8"
     print(stored.render())
     print(traffic.render())
-    print(figures.figure9(scale).render())
+    print(figures.figure9(scale, jobs=args.jobs).render())
     return 0
 
 
 def _cmd_ablation(args) -> int:
-    print(_ABLATIONS[args.name](_SCALES[args.scale]).render())
+    func = _ABLATIONS[args.name]
+    print(func(_SCALES[args.scale], **_jobs_kwargs(func, args)).render())
     return 0
 
 
 def _cmd_extension(args) -> int:
-    print(_EXTENSIONS[args.name](_SCALES[args.scale]).render())
+    func = _EXTENSIONS[args.name]
+    print(func(_SCALES[args.scale], **_jobs_kwargs(func, args)).render())
     return 0
 
 

@@ -272,14 +272,21 @@ class CacheCloud:
         for _ in range(hops):
             lookup_latency += self.transport.send_control(cache_id, beacon_id)
         lookup_latency += self.transport.send_control(beacon_id, cache_id)
-        self.trace.emit(LookupRequest(cache_id, beacon_id, doc_id))
+        if self.trace.enabled:
+            self.trace.emit(LookupRequest(cache_id, beacon_id, doc_id))
 
         holder_id = self._pick_holder(beacon, doc_id, cache_id, version)
-        self.trace.emit(
-            LookupResponse(
-                beacon_id, cache_id, doc_id, frozenset(beacon.directory.holders(doc_id))
+        if self.trace.enabled:
+            # Only built under capture: the frozenset copy of the holder set
+            # is pure instrumentation and must not tax the hot loop.
+            self.trace.emit(
+                LookupResponse(
+                    beacon_id,
+                    cache_id,
+                    doc_id,
+                    frozenset(beacon.directory.holders(doc_id)),
+                )
             )
-        )
 
         if holder_id is not None:
             transfer_latency = self.transport.send_document(
@@ -457,9 +464,10 @@ class CacheCloud:
             if self.caches[h].alive and self.caches[h].holds(doc_id)
         ]
         carries_body = bool(holders)
-        self.trace.emit(
-            UpdateNotice(doc_id, version, beacon_id, carries_body, size)
-        )
+        if self.trace.enabled:
+            self.trace.emit(
+                UpdateNotice(doc_id, version, beacon_id, carries_body, size)
+            )
         if not carries_body:
             # Nobody holds the document: a bare invalidation notice suffices.
             self.transport.send_control(self.origin.node_id, beacon_id)
@@ -473,7 +481,10 @@ class CacheCloud:
                 self.transport.send_document(
                     beacon_id, holder, size, TrafficCategory.UPDATE_FANOUT
                 )
-                self.trace.emit(UpdatePush(beacon_id, holder, doc_id, version, size))
+                if self.trace.enabled:
+                    self.trace.emit(
+                        UpdatePush(beacon_id, holder, doc_id, version, size)
+                    )
             self.caches[holder].apply_update(doc_id, version, now, size_bytes=size)
             refreshed += 1
         return refreshed
@@ -508,12 +519,13 @@ class CacheCloud:
                 continue
             # Announce the new assignment to every cache and the origin.
             coordinator = ring.members[0]
-            assignments = tuple(
-                (member, span_lo, span_hi)
-                for member, arc in result.ranges.items()
-                for span_lo, span_hi in arc.spans()
-            )
-            self.trace.emit(RangeAnnouncement(ring_idx, assignments))
+            if self.trace.enabled:
+                assignments = tuple(
+                    (member, span_lo, span_hi)
+                    for member, arc in result.ranges.items()
+                    for span_lo, span_hi in arc.spans()
+                )
+                self.trace.emit(RangeAnnouncement(ring_idx, assignments))
             for cache in self.caches:
                 if cache.cache_id != coordinator and cache.alive:
                     self.transport.send_control(coordinator, cache.cache_id)

@@ -6,8 +6,17 @@
   (Figures 3-9), each returning structured results and a rendered table.
 * :mod:`~repro.experiments.sweeps` — parameter-sweep helpers shared by the
   figure reproductions and the ablation benches.
+* :mod:`~repro.experiments.parallel` — fans independent sweep runs out over
+  worker processes (``run_sweep``), with value-identical serial fallback.
 """
 
+from repro.experiments.parallel import (
+    ExperimentSpec,
+    WorkloadSpec,
+    resolve_jobs,
+    run_spec,
+    run_sweep,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     TraceFeeder,
@@ -18,9 +27,14 @@ from repro.experiments.sweeps import UPDATE_RATE_SWEEP, ZIPF_SWEEP
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentSpec",
     "TraceFeeder",
     "UPDATE_RATE_SWEEP",
+    "WorkloadSpec",
     "ZIPF_SWEEP",
+    "resolve_jobs",
     "run_experiment",
+    "run_spec",
+    "run_sweep",
     "run_trace",
 ]

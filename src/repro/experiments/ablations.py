@@ -16,8 +16,8 @@ These go beyond the paper's figures:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
 
 from repro.core.config import (
     AssignmentScheme,
@@ -29,10 +29,11 @@ from repro.experiments.figures import (
     FigureScale,
     SMALL_SCALE,
     _loadbalance_config,
-    _run,
-    _sydney_trace,
-    _zipf_trace,
+    _spec,
+    _sydney_workload,
+    _zipf_workload,
 )
+from repro.experiments.parallel import run_sweep
 from repro.metrics.report import Table, format_figure_header
 from repro.network.bandwidth import TrafficCategory
 
@@ -59,51 +60,62 @@ class AblationResult:
         return [row[index] for row in self.rows]
 
 
-def ablation_load_information(scale: FigureScale = SMALL_SCALE) -> AblationResult:
+def ablation_load_information(
+    scale: FigureScale = SMALL_SCALE, jobs: Optional[int] = None
+) -> AblationResult:
     """CIrHLd vs CAvgLoad approximation on the Zipf-0.9 workload."""
-    corpus, trace = _zipf_trace(scale, num_caches=10, alpha=0.9)
+    workload = _zipf_workload(scale, num_caches=10, alpha=0.9)
     result = AblationResult(
         "per-IrH load information (CIrHLd) vs CAvgLoad approximation",
         ["load info", "CoV", "peak/mean"],
     )
-    for label, per_irh in (("CIrHLd (exact)", True), ("CAvgLoad (approx)", False)):
-        run = _run(
+    variants = (("CIrHLd (exact)", True), ("CAvgLoad (approx)", False))
+    specs = [
+        _spec(
+            label,
             _loadbalance_config(
-                AssignmentScheme.DYNAMIC, 10, 5, corpus, scale, use_per_irh_load=per_irh
+                AssignmentScheme.DYNAMIC, 10, 5, scale, use_per_irh_load=per_irh
             ),
-            corpus,
-            trace,
+            workload,
             scale.duration_minutes,
         )
+        for label, per_irh in variants
+    ]
+    for spec, run in zip(specs, run_sweep(specs, jobs=jobs)):
         result.rows.append(
-            (label, run.load_stats.cov, run.load_stats.peak_to_mean)
+            (spec.key, run.load_stats.cov, run.load_stats.peak_to_mean)
         )
     return result
 
 
-def ablation_consistent_hashing(scale: FigureScale = SMALL_SCALE) -> AblationResult:
+def ablation_consistent_hashing(
+    scale: FigureScale = SMALL_SCALE, jobs: Optional[int] = None
+) -> AblationResult:
     """Static vs consistent vs dynamic hashing: balance + lookup cost."""
-    corpus, trace = _zipf_trace(scale, num_caches=10, alpha=0.9)
+    workload = _zipf_workload(scale, num_caches=10, alpha=0.9)
     result = AblationResult(
         "assignment scheme (incl. consistent hashing baseline)",
         ["scheme", "CoV", "peak/mean", "control msgs/lookup"],
     )
-    for label, scheme in (
-        ("static", AssignmentScheme.STATIC),
-        ("consistent", AssignmentScheme.CONSISTENT),
-        ("dynamic", AssignmentScheme.DYNAMIC),
-    ):
-        run = _run(
-            _loadbalance_config(scheme, 10, 5, corpus, scale),
-            corpus,
-            trace,
+    specs = [
+        _spec(
+            label,
+            _loadbalance_config(scheme, 10, 5, scale),
+            workload,
             scale.duration_minutes,
         )
-        lookups = sum(b.total_lookups for b in run.cloud.beacons.values())
+        for label, scheme in (
+            ("static", AssignmentScheme.STATIC),
+            ("consistent", AssignmentScheme.CONSISTENT),
+            ("dynamic", AssignmentScheme.DYNAMIC),
+        )
+    ]
+    for spec, run in zip(specs, run_sweep(specs, jobs=jobs)):
+        lookups = run.beacon_lookups_total
         control = run.traffic.messages_for(TrafficCategory.CONTROL)
         per_lookup = control / lookups if lookups else 0.0
         result.rows.append(
-            (label, run.load_stats.cov, run.load_stats.peak_to_mean, per_lookup)
+            (spec.key, run.load_stats.cov, run.load_stats.peak_to_mean, per_lookup)
         )
     return result
 
@@ -111,29 +123,39 @@ def ablation_consistent_hashing(scale: FigureScale = SMALL_SCALE) -> AblationRes
 def ablation_threshold(
     scale: FigureScale = SMALL_SCALE,
     thresholds: Tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """Utility-threshold sweep: stored % and network load."""
     update_rate = 195.0 * scale.update_sweep_scale
-    corpus, trace = _sydney_trace(scale, num_caches=10, update_rate=update_rate)
-    unique_docs = len(trace.request_counts_by_doc())
+    workload = _sydney_workload(scale, num_caches=10, update_rate=update_rate)
     result = AblationResult(
         "utility store threshold",
         ["threshold", "docs stored/cache (%)", "network MB/unit"],
     )
-    for threshold in thresholds:
-        config = CloudConfig(
-            num_caches=10,
-            num_rings=5,
-            cycle_length=scale.cycle_length,
-            placement=PlacementScheme.UTILITY,
-            utility_weights=WEIGHTS_DSCC_OFF,
-            utility_threshold=threshold,
-            seed=scale.seed,
+    specs = [
+        _spec(
+            threshold,
+            CloudConfig(
+                num_caches=10,
+                num_rings=5,
+                cycle_length=scale.cycle_length,
+                placement=PlacementScheme.UTILITY,
+                utility_weights=WEIGHTS_DSCC_OFF,
+                utility_threshold=threshold,
+                seed=scale.seed,
+            ),
+            workload,
+            scale.duration_minutes,
         )
-        run = _run(config, corpus, trace, scale.duration_minutes)
-        resident = sum(len(c.storage) for c in run.cloud.caches) / len(run.cloud.caches)
+        for threshold in thresholds
+    ]
+    for spec, run in zip(specs, run_sweep(specs, jobs=jobs)):
         result.rows.append(
-            (threshold, 100.0 * resident / unique_docs, run.network_mb_per_unit)
+            (
+                spec.key,
+                100.0 * run.mean_resident_docs / run.unique_request_docs,
+                run.network_mb_per_unit,
+            )
         )
     return result
 
@@ -141,23 +163,32 @@ def ablation_threshold(
 def ablation_cycle_length(
     scale: FigureScale = SMALL_SCALE,
     cycle_lengths: Tuple[float, ...] = (5.0, 15.0, 30.0, 60.0),
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """Sub-range determination period sweep on the Sydney-like workload.
 
     Shorter cycles track drift better but re-announce/migrate more; the
     paper fixes 1 hour without exploring the trade-off.
     """
-    corpus, trace = _sydney_trace(scale, num_caches=10)
+    workload = _sydney_workload(scale, num_caches=10)
     result = AblationResult(
         "sub-range determination cycle length",
         ["cycle (min)", "CoV", "directory entries migrated"],
     )
-    for cycle in cycle_lengths:
-        config = _loadbalance_config(AssignmentScheme.DYNAMIC, 10, 5, corpus, scale)
-        config.cycle_length = cycle
-        run = _run(config, corpus, trace, scale.duration_minutes)
-        migrated = sum(
-            b.directory_entries_migrated for b in run.cloud.beacons.values()
+    specs = [
+        _spec(
+            cycle,
+            replace(
+                _loadbalance_config(AssignmentScheme.DYNAMIC, 10, 5, scale),
+                cycle_length=cycle,
+            ),
+            workload,
+            scale.duration_minutes,
         )
-        result.rows.append((cycle, run.load_stats.cov, migrated))
+        for cycle in cycle_lengths
+    ]
+    for spec, run in zip(specs, run_sweep(specs, jobs=jobs)):
+        result.rows.append(
+            (spec.key, run.load_stats.cov, run.directory_entries_migrated)
+        )
     return result

@@ -654,6 +654,7 @@ class CapabilityProportionalityResult:
 def capability_proportionality(
     scale: FigureScale = SMALL_SCALE,
     capabilities: Optional[List[float]] = None,
+    jobs: Optional[int] = None,
 ) -> CapabilityProportionalityResult:
     """Heterogeneous cloud: does load track capability?
 
@@ -661,20 +662,30 @@ def capability_proportionality(
     hashing is capability-blind. Half the cloud runs on 3x machines by
     default.
     """
+    from dataclasses import replace
+
     from repro.core.config import AssignmentScheme
-    from repro.experiments.figures import _loadbalance_config, _run, _zipf_trace
+    from repro.experiments.figures import _loadbalance_config, _spec, _zipf_workload
+    from repro.experiments.parallel import run_sweep
 
     capabilities = capabilities if capabilities is not None else [3.0] * 5 + [1.0] * 5
     if len(capabilities) != 10:
         raise ValueError("capability experiment expects 10 caches")
-    corpus, trace = _zipf_trace(scale, num_caches=10, alpha=0.9)
+    workload = _zipf_workload(scale, num_caches=10, alpha=0.9)
     result = CapabilityProportionalityResult(capabilities=list(capabilities))
-    for scheme in (AssignmentScheme.STATIC, AssignmentScheme.DYNAMIC):
-        config = _loadbalance_config(scheme, 10, 5, corpus, scale)
-        config.capabilities = list(capabilities)
-        run = _run(config, corpus, trace, scale.duration_minutes)
-        if scheme is AssignmentScheme.STATIC:
-            result.static_loads = dict(run.beacon_loads)
-        else:
-            result.dynamic_loads = dict(run.beacon_loads)
+    specs = [
+        _spec(
+            scheme,
+            replace(
+                _loadbalance_config(scheme, 10, 5, scale),
+                capabilities=list(capabilities),
+            ),
+            workload,
+            scale.duration_minutes,
+        )
+        for scheme in (AssignmentScheme.STATIC, AssignmentScheme.DYNAMIC)
+    ]
+    static, dynamic = run_sweep(specs, jobs=jobs)
+    result.static_loads = dict(static.beacon_loads)
+    result.dynamic_loads = dict(dynamic.beacon_loads)
     return result

@@ -13,6 +13,14 @@ takes a :class:`FigureScale`. ``SMALL_SCALE`` (the default) runs each figure
 in seconds while preserving every qualitative conclusion (who wins, by
 roughly what factor); ``PAPER_SCALE`` approaches the paper's sizes.
 EXPERIMENTS.md records paper-vs-measured numbers at the benchmark scale.
+
+Parallelism
+-----------
+Every entry point accepts ``jobs``: the sweep's independent runs are built
+as :class:`~repro.experiments.parallel.ExperimentSpec` objects and executed
+through :func:`~repro.experiments.parallel.run_sweep`, which fans out over
+``jobs`` worker processes (``None`` defers to the ``REPRO_JOBS`` environment
+variable, default serial). Results are value-identical at any job count.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.core.config import (
     WEIGHTS_ALL_ON,
     WEIGHTS_DSCC_OFF,
 )
+from repro.experiments.parallel import ExperimentSpec, WorkloadSpec, run_sweep
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.sweeps import (
     CLOUD_SIZE_SWEEP,
@@ -38,7 +47,7 @@ from repro.experiments.sweeps import (
 )
 from repro.metrics.loadbalance import improvement_percent
 from repro.metrics.report import Table, format_figure_header
-from repro.workload.documents import Corpus, build_corpus
+from repro.workload.documents import Corpus, build_corpus, seed_corpus_rng
 from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
 from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
 from repro.workload.trace import Trace
@@ -112,7 +121,6 @@ def _loadbalance_config(
     assignment: AssignmentScheme,
     num_caches: int,
     num_rings: int,
-    corpus: Corpus,
     scale: FigureScale,
     use_per_irh_load: bool = True,
 ) -> CloudConfig:
@@ -139,24 +147,61 @@ def _loadbalance_config(
     )
 
 
+def _zipf_workload(
+    scale: FigureScale,
+    num_caches: int,
+    alpha: float = 0.9,
+    update_rate: Optional[float] = None,
+) -> WorkloadSpec:
+    """Picklable recipe for a Zipf corpus + trace (built in sweep workers)."""
+    return WorkloadSpec(
+        generator_config=WorkloadConfig(
+            num_documents=scale.num_documents,
+            num_caches=num_caches,
+            request_rate_per_cache=scale.request_rate_per_cache,
+            update_rate=scale.update_rate if update_rate is None else update_rate,
+            alpha_requests=alpha,
+            duration_minutes=scale.duration_minutes,
+            seed=scale.seed,
+        ),
+        corpus_documents=scale.num_documents,
+        corpus_seed=scale.seed,
+    )
+
+
+def _sydney_workload(
+    scale: FigureScale,
+    num_caches: int,
+    update_rate: Optional[float] = None,
+) -> WorkloadSpec:
+    """Picklable recipe for a Sydney-like corpus + trace."""
+    return WorkloadSpec(
+        generator_config=SydneyConfig(
+            num_documents=scale.num_documents,
+            num_caches=num_caches,
+            peak_request_rate_per_cache=scale.request_rate_per_cache,
+            base_update_rate=(
+                scale.update_rate if update_rate is None else update_rate
+            ),
+            duration_minutes=scale.duration_minutes,
+            diurnal_period_minutes=scale.duration_minutes,
+            num_epochs=max(2, int(scale.duration_minutes / 60.0)),
+            drift_pool=max(10, scale.num_documents // 10),
+            seed=scale.seed,
+        ),
+        corpus_documents=scale.num_documents,
+        corpus_seed=scale.seed,
+    )
+
+
 def _zipf_trace(
     scale: FigureScale,
     num_caches: int,
     alpha: float = 0.9,
     update_rate: Optional[float] = None,
 ) -> Tuple[Corpus, Trace]:
-    """Corpus + materialized Zipf trace (shared across scheme runs)."""
-    corpus = build_corpus(scale.num_documents, seed_corpus_rng(scale.seed))
-    config = WorkloadConfig(
-        num_documents=scale.num_documents,
-        num_caches=num_caches,
-        request_rate_per_cache=scale.request_rate_per_cache,
-        update_rate=scale.update_rate if update_rate is None else update_rate,
-        alpha_requests=alpha,
-        duration_minutes=scale.duration_minutes,
-        seed=scale.seed,
-    )
-    return corpus, SyntheticTraceGenerator(config).build_trace()
+    """Corpus + materialized Zipf trace (for in-process experiments)."""
+    return _zipf_workload(scale, num_caches, alpha, update_rate).materialize()
 
 
 def _sydney_trace(
@@ -165,34 +210,34 @@ def _sydney_trace(
     update_rate: Optional[float] = None,
 ) -> Tuple[Corpus, Trace]:
     """Corpus + materialized Sydney-like trace."""
-    corpus = build_corpus(scale.num_documents, seed_corpus_rng(scale.seed))
-    config = SydneyConfig(
-        num_documents=scale.num_documents,
-        num_caches=num_caches,
-        peak_request_rate_per_cache=scale.request_rate_per_cache,
-        base_update_rate=scale.update_rate if update_rate is None else update_rate,
-        duration_minutes=scale.duration_minutes,
-        diurnal_period_minutes=scale.duration_minutes,
-        num_epochs=max(2, int(scale.duration_minutes / 60.0)),
-        drift_pool=max(10, scale.num_documents // 10),
-        seed=scale.seed,
+    return _sydney_workload(scale, num_caches, update_rate).materialize()
+
+
+def _spec(
+    key: object,
+    config: CloudConfig,
+    workload: WorkloadSpec,
+    duration: float,
+) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` with the figures' shared warm-up rule.
+
+    Two full cycles of warm-up: the dynamic scheme has rebalanced at least
+    twice before measurement starts, and the static scheme gets the
+    identical window (common random numbers).
+    """
+    return ExperimentSpec(
+        key=key,
+        config=config,
+        workload=workload,
+        duration=duration,
+        warmup=min(2.0 * config.cycle_length, duration / 2.0),
     )
-    return corpus, SydneyTraceGenerator(config).build_trace()
-
-
-def seed_corpus_rng(seed: int):
-    """Deterministic corpus RNG derived from the figure seed."""
-    import random
-
-    return random.Random(seed * 7919 + 13)
 
 
 def _run(
     config: CloudConfig, corpus: Corpus, trace: Trace, duration: float
 ) -> ExperimentResult:
-    # Two full cycles of warm-up: the dynamic scheme has rebalanced at least
-    # twice before measurement starts, and the static scheme gets the
-    # identical window (common random numbers).
+    """One in-process experiment under the figures' shared warm-up rule."""
     warmup = min(2.0 * config.cycle_length, duration / 2.0)
     return run_experiment(
         config, corpus, trace.requests, trace.updates, duration=duration,
@@ -259,25 +304,29 @@ class LoadDistributionResult:
 
 
 def _load_distribution(
-    figure: str, dataset: str, corpus: Corpus, trace: Trace, scale: FigureScale
+    figure: str,
+    dataset: str,
+    workload: WorkloadSpec,
+    scale: FigureScale,
+    jobs: Optional[int] = None,
 ) -> LoadDistributionResult:
     num_caches = 10
-    static = _run(
-        _loadbalance_config(AssignmentScheme.STATIC, num_caches, 5, corpus, scale),
-        corpus,
-        trace,
-        scale.duration_minutes,
-    )
-    dynamic = _run(
-        _loadbalance_config(AssignmentScheme.DYNAMIC, num_caches, 5, corpus, scale),
-        corpus,
-        trace,
-        scale.duration_minutes,
-    )
+    specs = [
+        _spec(
+            scheme.value,
+            _loadbalance_config(scheme, num_caches, 5, scale),
+            workload,
+            scale.duration_minutes,
+        )
+        for scheme in (AssignmentScheme.STATIC, AssignmentScheme.DYNAMIC)
+    ]
+    static, dynamic = run_sweep(specs, jobs=jobs)
     return LoadDistributionResult(figure, dataset, static, dynamic)
 
 
-def figure3(scale: FigureScale = SMALL_SCALE) -> LoadDistributionResult:
+def figure3(
+    scale: FigureScale = SMALL_SCALE, jobs: Optional[int] = None
+) -> LoadDistributionResult:
     """Figure 3: load distribution for the Zipf-0.9 dataset.
 
     Paper: 10 caches, 5 beacon rings of 2 beacon points, IntraGen 1000,
@@ -285,18 +334,24 @@ def figure3(scale: FigureScale = SMALL_SCALE) -> LoadDistributionResult:
     dynamic hashing cuts that to ~1.2x (a ~37 % improvement) and improves
     the coefficient of variation by ~63 %.
     """
-    corpus, trace = _zipf_trace(scale, num_caches=10, alpha=0.9)
-    return _load_distribution("Figure 3", "Zipf-0.9 dataset", corpus, trace, scale)
+    workload = _zipf_workload(scale, num_caches=10, alpha=0.9)
+    return _load_distribution(
+        "Figure 3", "Zipf-0.9 dataset", workload, scale, jobs=jobs
+    )
 
 
-def figure4(scale: FigureScale = SMALL_SCALE) -> LoadDistributionResult:
+def figure4(
+    scale: FigureScale = SMALL_SCALE, jobs: Optional[int] = None
+) -> LoadDistributionResult:
     """Figure 4: load distribution for the Sydney(-like) dataset.
 
     Paper: dynamic hashing improves peak/mean by ~40 % (to 1.06) and the
     coefficient of variation by ~63 %.
     """
-    corpus, trace = _sydney_trace(scale, num_caches=10)
-    return _load_distribution("Figure 4", "Sydney dataset", corpus, trace, scale)
+    workload = _sydney_workload(scale, num_caches=10)
+    return _load_distribution(
+        "Figure 4", "Sydney dataset", workload, scale, jobs=jobs
+    )
 
 
 # ----------------------------------------------------------------------
@@ -337,6 +392,7 @@ def figure5(
     scale: FigureScale = SMALL_SCALE,
     cloud_sizes: Tuple[int, ...] = CLOUD_SIZE_SWEEP,
     ring_sizes: Tuple[int, ...] = RING_SIZE_SWEEP,
+    jobs: Optional[int] = None,
 ) -> Figure5Result:
     """Figure 5: CoV for static vs dynamic at ring sizes 2/5/10.
 
@@ -344,33 +400,33 @@ def figure5(
     significantly; growing rings to 5 and 10 improves balance incrementally.
     """
     result = Figure5Result(list(cloud_sizes), list(ring_sizes))
+    specs = []
     for num_caches in cloud_sizes:
-        corpus, trace = _sydney_trace(scale, num_caches=num_caches)
-        static = _run(
-            _loadbalance_config(
-                AssignmentScheme.STATIC, num_caches, 1, corpus, scale
-            ),
-            corpus,
-            trace,
-            scale.duration_minutes,
-        )
-        result.cov[(num_caches, "static")] = static.load_stats.cov
-        for ring_size in ring_sizes:
-            dynamic = _run(
-                _loadbalance_config(
-                    AssignmentScheme.DYNAMIC,
-                    num_caches,
-                    rings_for(num_caches, ring_size),
-                    corpus,
-                    scale,
-                ),
-                corpus,
-                trace,
+        workload = _sydney_workload(scale, num_caches=num_caches)
+        specs.append(
+            _spec(
+                (num_caches, "static"),
+                _loadbalance_config(AssignmentScheme.STATIC, num_caches, 1, scale),
+                workload,
                 scale.duration_minutes,
             )
-            result.cov[(num_caches, f"dynamic/{ring_size}-per-ring")] = (
-                dynamic.load_stats.cov
+        )
+        for ring_size in ring_sizes:
+            specs.append(
+                _spec(
+                    (num_caches, f"dynamic/{ring_size}-per-ring"),
+                    _loadbalance_config(
+                        AssignmentScheme.DYNAMIC,
+                        num_caches,
+                        rings_for(num_caches, ring_size),
+                        scale,
+                    ),
+                    workload,
+                    scale.duration_minutes,
+                )
             )
+    for spec, run in zip(specs, run_sweep(specs, jobs=jobs)):
+        result.cov[spec.key] = run.load_stats.cov
     return result
 
 
@@ -412,7 +468,9 @@ class Figure6Result:
 
 
 def figure6(
-    scale: FigureScale = SMALL_SCALE, alphas: Tuple[float, ...] = ZIPF_SWEEP
+    scale: FigureScale = SMALL_SCALE,
+    alphas: Tuple[float, ...] = ZIPF_SWEEP,
+    jobs: Optional[int] = None,
 ) -> Figure6Result:
     """Figure 6: CoV vs Zipf parameter (0 → 0.99).
 
@@ -420,20 +478,20 @@ def figure6(
     both but far faster for static hashing — ~45 % worse at alpha 0.9.
     """
     result = Figure6Result(list(alphas))
+    specs = []
     for alpha in alphas:
-        corpus, trace = _zipf_trace(scale, num_caches=10, alpha=alpha)
-        static = _run(
-            _loadbalance_config(AssignmentScheme.STATIC, 10, 5, corpus, scale),
-            corpus,
-            trace,
-            scale.duration_minutes,
-        )
-        dynamic = _run(
-            _loadbalance_config(AssignmentScheme.DYNAMIC, 10, 5, corpus, scale),
-            corpus,
-            trace,
-            scale.duration_minutes,
-        )
+        workload = _zipf_workload(scale, num_caches=10, alpha=alpha)
+        for scheme in (AssignmentScheme.STATIC, AssignmentScheme.DYNAMIC):
+            specs.append(
+                _spec(
+                    (alpha, scheme.value),
+                    _loadbalance_config(scheme, 10, 5, scale),
+                    workload,
+                    scale.duration_minutes,
+                )
+            )
+    runs = run_sweep(specs, jobs=jobs)
+    for static, dynamic in zip(runs[0::2], runs[1::2]):
         result.cov_static.append(static.load_stats.cov)
         result.cov_dynamic.append(dynamic.load_stats.cov)
     return result
@@ -506,6 +564,7 @@ def _placement_sweep(
     update_rates: Tuple[float, ...],
     weights: UtilityWeights,
     disk_fraction: Optional[float],
+    jobs: Optional[int] = None,
 ) -> Tuple[PlacementSweepResult, PlacementSweepResult]:
     """Run the three placements over the sweep; returns (stored%, MB) results.
 
@@ -527,34 +586,44 @@ def _placement_sweep(
     for label in (PLACEMENT_LABELS[s] for s in schemes):
         stored.series[label] = []
         traffic.series[label] = []
+    if disk_fraction is None:
+        capacity = None
+    else:
+        # The corpus depends only on the scale's seed — build it once here to
+        # size the disk budget; workers rebuild the identical corpus.
+        corpus = _sydney_workload(scale, num_caches=10).build_corpus()
+        capacity = max(1, int(corpus.total_bytes * disk_fraction))
+    specs = []
     for update_rate in update_rates:
-        corpus, trace = _sydney_trace(
+        workload = _sydney_workload(
             scale, num_caches=10, update_rate=update_rate * scale.update_sweep_scale
         )
-        unique_docs = len(trace.request_counts_by_doc())
-        stored.unique_docs.append(unique_docs)
-        traffic.unique_docs.append(unique_docs)
-        capacity = (
-            None
-            if disk_fraction is None
-            else max(1, int(corpus.total_bytes * disk_fraction))
-        )
         for scheme in schemes:
-            config = _placement_config(scheme, weights, capacity, scale)
-            run = _run(config, corpus, trace, scale.duration_minutes)
-            resident = sum(len(c.storage) for c in run.cloud.caches) / len(
-                run.cloud.caches
+            specs.append(
+                _spec(
+                    (update_rate, PLACEMENT_LABELS[scheme]),
+                    _placement_config(scheme, weights, capacity, scale),
+                    workload,
+                    scale.duration_minutes,
+                )
             )
-            stored.series[PLACEMENT_LABELS[scheme]].append(
-                100.0 * resident / unique_docs
-            )
-            traffic.series[PLACEMENT_LABELS[scheme]].append(run.network_mb_per_unit)
+    runs = run_sweep(specs, jobs=jobs)
+    for spec, run in zip(specs, runs):
+        _, label = spec.key
+        if label == PLACEMENT_LABELS[schemes[0]]:
+            stored.unique_docs.append(run.unique_request_docs)
+            traffic.unique_docs.append(run.unique_request_docs)
+        stored.series[label].append(
+            100.0 * run.mean_resident_docs / run.unique_request_docs
+        )
+        traffic.series[label].append(run.network_mb_per_unit)
     return stored, traffic
 
 
 def figure7_and_8(
     scale: FigureScale = SMALL_SCALE,
     update_rates: Tuple[float, ...] = UPDATE_RATE_SWEEP,
+    jobs: Optional[int] = None,
 ) -> Tuple[PlacementSweepResult, PlacementSweepResult]:
     """Figures 7-8: unlimited disk, DsCC off (weights ⅓/⅓/0/⅓).
 
@@ -570,6 +639,7 @@ def figure7_and_8(
         update_rates,
         WEIGHTS_DSCC_OFF,
         disk_fraction=None,
+        jobs=jobs,
     )
 
 
@@ -590,6 +660,7 @@ def figure8(scale: FigureScale = SMALL_SCALE, **kwargs) -> PlacementSweepResult:
 def figure9(
     scale: FigureScale = SMALL_SCALE,
     update_rates: Tuple[float, ...] = UPDATE_RATE_SWEEP,
+    jobs: Optional[int] = None,
 ) -> PlacementSweepResult:
     """Figure 9: network load with disk = 5 % of the corpus, LRU, DsCC on.
 
@@ -605,6 +676,7 @@ def figure9(
         update_rates,
         WEIGHTS_ALL_ON,
         disk_fraction=scale.limited_disk_fraction,
+        jobs=jobs,
     )
     traffic.figure = "Figure 9"
     return traffic

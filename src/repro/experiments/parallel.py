@@ -1,0 +1,222 @@
+"""Parallel execution of independent trace-driven experiments.
+
+Every evaluation figure and ablation is a *sweep*: a set of mutually
+independent simulations differing only in configuration (cloud size, Zipf
+parameter, update rate, ...). This module fans such sweeps out over worker
+processes:
+
+* :class:`WorkloadSpec` — a small, picklable recipe for a (corpus, trace)
+  pair. Workers materialize the workload locally from seeds, so only the
+  recipe crosses the process boundary, never multi-million-record traces.
+* :class:`ExperimentSpec` — one runnable experiment: cloud configuration +
+  workload recipe + run window. Built in the parent, executed anywhere.
+* :func:`run_sweep` — the driver: executes specs on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with ``jobs`` workers,
+  collects results in submission order, and logs per-run timing. ``jobs=1``
+  (the default when ``REPRO_JOBS`` is unset) runs serially in-process; the
+  serial path is also the automatic fallback when no process pool can be
+  created (restricted environments, missing semaphores).
+
+Determinism
+-----------
+All randomness in a run flows from seeds carried by the spec, and workers
+rebuild corpus and trace with the exact derivations the parent would use.
+``run_sweep`` therefore returns *value-identical* results for any job count
+— asserted by ``tests/test_experiments_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple, Union
+
+from repro.core.config import CloudConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.workload.documents import Corpus, build_corpus, seed_corpus_rng
+from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
+from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
+from repro.workload.trace import Trace
+
+logger = logging.getLogger(__name__)
+
+#: Environment variable consulted when ``run_sweep`` gets no explicit job
+#: count. ``REPRO_JOBS=4`` fans sweeps out over four worker processes;
+#: ``REPRO_JOBS=0`` uses every available CPU.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Workload generator configurations a spec can carry; the matching
+#: generator class is chosen by type.
+GeneratorConfig = Union[WorkloadConfig, SydneyConfig]
+
+
+def derive_seed(base: int, *parts: object) -> int:
+    """A stable seed derived from ``base`` and any labels.
+
+    Uses SHA-256 rather than :func:`hash` so the derivation is identical
+    across processes and interpreter invocations (``hash`` of strings is
+    randomized per process).
+    """
+    text = ":".join([str(base), *(str(part) for part in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Picklable recipe for one (corpus, trace) pair.
+
+    ``generator_config`` is a :class:`WorkloadConfig` (Zipf synthetic) or a
+    :class:`SydneyConfig` (Sydney-like synthetic); the corpus is described
+    by its size and seed only. Materialization is deterministic: the same
+    spec yields the same workload in any process.
+    """
+
+    generator_config: GeneratorConfig
+    corpus_documents: int
+    corpus_seed: int
+    corpus_fixed_size: Optional[int] = None
+
+    def build_corpus(self) -> Corpus:
+        """Materialize the document corpus."""
+        return build_corpus(
+            self.corpus_documents,
+            seed_corpus_rng(self.corpus_seed),
+            fixed_size=self.corpus_fixed_size,
+        )
+
+    def build_trace(self) -> Trace:
+        """Materialize the request/update trace."""
+        if isinstance(self.generator_config, SydneyConfig):
+            return SydneyTraceGenerator(self.generator_config).build_trace()
+        return SyntheticTraceGenerator(self.generator_config).build_trace()
+
+    def materialize(self) -> Tuple[Corpus, Trace]:
+        """Materialize both corpus and trace."""
+        return self.build_corpus(), self.build_trace()
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: configuration + workload recipe + window.
+
+    ``key`` labels the spec in logs and lets sweep builders map ordered
+    results back to sweep coordinates. Specs are built in the parent and
+    stay small — the corpus and trace are materialized in the worker.
+    """
+
+    key: object
+    config: CloudConfig
+    workload: WorkloadSpec
+    duration: float
+    warmup: Optional[float] = None
+
+
+def run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one spec; returns a detached (cloud-free, picklable) result."""
+    corpus, trace = spec.workload.materialize()
+    result = run_experiment(
+        spec.config,
+        corpus,
+        trace.requests,
+        trace.updates,
+        duration=spec.duration,
+        warmup=spec.warmup,
+    )
+    result.unique_request_docs = len(trace.request_counts_by_doc())
+    return result.detached()
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a job count: explicit value > ``REPRO_JOBS`` env > 1.
+
+    ``0`` or a negative value (from either source) means "all CPUs".
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def run_sweep(
+    specs: Iterable[ExperimentSpec],
+    jobs: Optional[int] = None,
+    runner: Callable[[ExperimentSpec], ExperimentResult] = run_spec,
+) -> List[ExperimentResult]:
+    """Execute every spec; returns results in spec order.
+
+    ``jobs`` is resolved through :func:`resolve_jobs` (explicit value, then
+    the ``REPRO_JOBS`` environment variable, then serial). With ``jobs > 1``
+    the specs run on a process pool; results are collected in submission
+    order, so the output is positionally aligned with ``specs`` regardless
+    of completion order. The ``runner`` must be picklable for parallel
+    execution (the default, :func:`run_spec`, is).
+
+    Identical seeds produce identical result values at any job count.
+    """
+    spec_list = list(specs)
+    if not spec_list:
+        return []
+    workers = min(resolve_jobs(jobs), len(spec_list))
+    if workers <= 1:
+        return _run_serial(spec_list, runner)
+    try:
+        return _run_parallel(spec_list, workers, runner)
+    except (OSError, PermissionError, ImportError, NotImplementedError,
+            BrokenProcessPool) as exc:
+        logger.warning(
+            "process pool unavailable (%s: %s); falling back to serial "
+            "execution", type(exc).__name__, exc,
+        )
+        return _run_serial(spec_list, runner)
+
+
+def _run_serial(
+    specs: List[ExperimentSpec],
+    runner: Callable[[ExperimentSpec], ExperimentResult],
+) -> List[ExperimentResult]:
+    results: List[ExperimentResult] = []
+    total = len(specs)
+    for index, spec in enumerate(specs, start=1):
+        start = time.perf_counter()
+        results.append(runner(spec))
+        logger.info(
+            "sweep run %d/%d %r: %.2fs (serial)",
+            index, total, spec.key, time.perf_counter() - start,
+        )
+    return results
+
+
+def _run_parallel(
+    specs: List[ExperimentSpec],
+    workers: int,
+    runner: Callable[[ExperimentSpec], ExperimentResult],
+) -> List[ExperimentResult]:
+    total = len(specs)
+    start = time.perf_counter()
+    results: List[ExperimentResult] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(runner, spec) for spec in specs]
+        logger.info("sweep: %d runs on %d worker processes", total, workers)
+        for index, (spec, future) in enumerate(zip(specs, futures), start=1):
+            results.append(future.result())
+            logger.info(
+                "sweep run %d/%d %r: collected at +%.2fs",
+                index, total, spec.key, time.perf_counter() - start,
+            )
+    return results

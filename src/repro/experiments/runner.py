@@ -8,7 +8,7 @@ statistics every figure needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, Optional, Union
 
 from repro.core.cloud import CacheCloud
@@ -93,6 +93,16 @@ class ExperimentResult:
     requests: int = 0
     updates: int = 0
     cloud: Optional[CacheCloud] = None
+    #: Mean resident documents per cache at the end of the run (the Fig. 7
+    #: numerator); summarized here so results stay usable without the cloud.
+    mean_resident_docs: float = 0.0
+    #: Total lookups handled by beacon points in the measurement window.
+    beacon_lookups_total: int = 0
+    #: Directory entries migrated by sub-range determination cycles.
+    directory_entries_migrated: int = 0
+    #: Unique documents in the request stream (filled in by spec-driven runs,
+    #: which materialize the trace; 0 when driven from raw streams).
+    unique_request_docs: int = 0
 
     @property
     def measured_span(self) -> float:
@@ -102,6 +112,15 @@ class ExperimentResult:
     def sorted_loads(self) -> list:
         """Beacon loads in decreasing order (the figures' x-axis order)."""
         return sorted(self.beacon_loads.values(), reverse=True)
+
+    def detached(self) -> "ExperimentResult":
+        """A copy without the live cloud object.
+
+        The detached copy is what parallel sweep workers ship back to the
+        parent process: every reported metric survives, only the simulation
+        state (which is large and never compared) is dropped.
+        """
+        return replace(self, cloud=None)
 
 
 def run_experiment(
@@ -177,6 +196,15 @@ def run_experiment(
         requests=cloud.requests_handled,
         updates=cloud.updates_handled,
         cloud=cloud,
+        mean_resident_docs=(
+            sum(len(c.storage) for c in cloud.caches) / len(cloud.caches)
+        ),
+        beacon_lookups_total=sum(
+            b.total_lookups for b in cloud.beacons.values()
+        ),
+        directory_entries_migrated=sum(
+            b.directory_entries_migrated for b in cloud.beacons.values()
+        ),
     )
     return result
 
@@ -191,7 +219,9 @@ def run_trace(
     """Convenience wrapper for a materialized :class:`Trace`."""
     if isinstance(trace, Trace):
         if duration is None:
-            duration = trace.duration + 1e-9 or 1.0
+            # Empty/zero-duration traces fall back to one unit of simulated
+            # time; the epsilon keeps the last record inside the run window.
+            duration = (trace.duration or 1.0) + 1e-9
         return run_experiment(
             config, corpus, trace.requests, trace.updates, duration, warmup
         )

@@ -86,6 +86,16 @@ class TrafficMeter:
             self._bytes[category] = 0
             self._messages[category] = 0
 
+    def __eq__(self, other: object) -> bool:
+        """Meters are equal when every per-category counter matches.
+
+        Supports the parallel-vs-serial sweep equivalence checks, which
+        compare whole result objects by value.
+        """
+        if not isinstance(other, TrafficMeter):
+            return NotImplemented
+        return self._bytes == other._bytes and self._messages == other._messages
+
     def __repr__(self) -> str:
         mb = self.total_bytes / (1024.0 * 1024.0)
         return f"TrafficMeter(total={mb:.2f} MB)"

@@ -93,6 +93,15 @@ DEFAULT_MEAN_SIZE = 8 * 1024  # 8 KiB — typical dynamically generated HTML pag
 DEFAULT_SIGMA = 0.6
 
 
+def seed_corpus_rng(seed: int) -> random.Random:
+    """Deterministic corpus RNG derived from an experiment seed.
+
+    The derivation is fixed so that a corpus built in a sweep worker process
+    is byte-identical to one built in the parent from the same seed.
+    """
+    return random.Random(seed * 7919 + 13)
+
+
 def build_corpus(
     num_documents: int,
     rng: Optional[random.Random] = None,

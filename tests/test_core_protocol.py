@@ -10,6 +10,7 @@ from repro.core.protocol import (
     UpdateNotice,
 )
 from repro.network.transport import CONTROL_MESSAGE_BYTES
+from tests.conftest import make_cloud
 
 
 class TestSizes:
@@ -60,3 +61,40 @@ class TestProtocolTrace:
         trace.emit(LookupRequest(0, 1, 2))
         trace.clear()
         assert trace.messages == []
+
+
+class TestCloudTraceGating:
+    """The cloud must not build protocol messages when capture is off.
+
+    Message construction on the lookup/update hot paths (the per-request
+    ``LookupResponse`` holder-set copy in particular) is pure
+    instrumentation; these tests pin down both sides of the gate.
+    """
+
+    @staticmethod
+    def _exercise(cloud):
+        # Same request twice from different caches: the second lookup finds a
+        # holder (LookupResponse with a non-empty set) and updates touch it.
+        cloud.handle_request(0, 5, 0.0)
+        cloud.handle_request(1, 5, 1.0)
+        cloud.handle_update(5, 2.0)
+        return cloud
+
+    def test_disabled_capture_records_nothing(self, small_corpus):
+        cloud = self._exercise(make_cloud(small_corpus, capture=False))
+        assert cloud.trace.messages == []
+        # The simulation itself still ran (gating must not change behavior).
+        assert cloud.requests_handled == 2
+        assert cloud.updates_handled == 1
+
+    def test_enabled_capture_sees_lookup_and_update_messages(self, small_corpus):
+        cloud = self._exercise(make_cloud(small_corpus, capture=True))
+        assert len(cloud.trace.of_type(LookupRequest)) >= 2
+        assert len(cloud.trace.of_type(LookupResponse)) >= 2
+        assert len(cloud.trace.of_type(UpdateNotice)) >= 1
+
+    def test_gating_does_not_change_outcomes(self, small_corpus):
+        captured = self._exercise(make_cloud(small_corpus, capture=True))
+        silent = self._exercise(make_cloud(small_corpus, capture=False))
+        assert captured.aggregate_stats() == silent.aggregate_stats()
+        assert captured.transport.meter == silent.transport.meter

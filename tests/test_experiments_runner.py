@@ -147,6 +147,31 @@ class TestRunTrace:
         with pytest.raises(ValueError):
             run_trace(config(), corpus, iter([]))
 
+    def test_default_duration_covers_trace(self, corpus):
+        """The inferred duration is the trace span (plus the window epsilon)."""
+        trace = simple_trace()
+        result = run_trace(config(), corpus, trace)
+        assert result.duration == pytest.approx(trace.duration, abs=1e-6)
+        assert result.duration > trace.duration  # last record stays inside
+
+    def test_empty_trace_defaults_to_one_unit(self, corpus):
+        """Regression: ``trace.duration + 1e-9 or 1.0`` never hit the 1.0 arm,
+        so an empty trace produced a ~1e-9 duration and a nonsense MB/unit
+        normalization."""
+        result = run_trace(config(), corpus, Trace(requests=[], updates=[]))
+        assert result.duration == pytest.approx(1.0)
+        assert result.requests == 0
+        assert result.network_mb_per_unit == 0.0
+
+    def test_zero_duration_trace_defaults_to_one_unit(self, corpus):
+        """A trace whose only records sit at t=0 spans zero time; the run
+        still needs a positive window, and the records must land inside it."""
+        trace = Trace(requests=[RequestRecord(0.0, 0, 1)], updates=[])
+        result = run_trace(config(), corpus, trace, warmup=0.0)
+        assert result.duration == pytest.approx(1.0)
+        assert result.requests == 1
+        assert result.network_mb_per_unit < 1e6  # sane normalization
+
 
 class TestCommonRandomNumbers:
     def test_same_trace_two_schemes_same_total_load(self, corpus):
