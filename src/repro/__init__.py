@@ -43,6 +43,9 @@ from repro.core.ring import BeaconRing
 from repro.core.utility import UtilityComputer
 from repro.edgecache.cache import EdgeCache
 from repro.experiments.runner import ExperimentResult, run_experiment, run_trace
+from repro.faults.churn import ChurnEvent, ChurnSchedule, ChurnSpec
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import NO_FAULTS, FaultPlan, RetryPolicy
 from repro.network.origin import OriginServer
 from repro.network.topology import EuclideanTopology
 from repro.network.transport import Transport
@@ -58,7 +61,14 @@ __all__ = [
     "AssignmentScheme",
     "BeaconRing",
     "CacheCloud",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ChurnSpec",
     "CloudConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "NO_FAULTS",
+    "RetryPolicy",
     "ConsistentHashAssigner",
     "CooperativeLeaseCloud",
     "Corpus",

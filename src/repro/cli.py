@@ -8,6 +8,7 @@ Usage::
     python -m repro extension consistency
     python -m repro trace --documents 500 --duration 30 --out trace.txt
     python -m repro run --caches 10 --rings 5 --placement utility
+    python -m repro resilience --scale tiny --loss 0 0.2 0.5 --churn 0 0.05
     python -m repro compare old.json new.json --tolerance 0.1
 
 Every subcommand prints the same tables the benchmark harness produces, so
@@ -147,6 +148,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cycle", type=float, default=15.0)
     run.add_argument("--seed", type=int, default=0)
 
+    res = subparsers.add_parser(
+        "resilience",
+        help="sweep hit-rate/origin-load degradation vs loss and churn rates",
+    )
+    _add_scale(res)
+    _add_jobs(res)
+    res.add_argument(
+        "--loss", type=float, nargs="+", default=[0.0, 0.05, 0.2, 0.5],
+        help="message loss rates to sweep (space-separated, in [0, 1])",
+    )
+    res.add_argument(
+        "--churn", type=float, nargs="+", default=[0.0],
+        help="cloud-wide cache failure rates per minute to sweep",
+    )
+    res.add_argument("--out", help="archive the sweep result to this JSON file")
+    res.add_argument(
+        "--fingerprint", action="store_true",
+        help="print a SHA-256 fingerprint of the result (determinism checks)",
+    )
+
     compare = subparsers.add_parser(
         "compare", help="diff two archived experiment results (JSON)"
     )
@@ -253,6 +274,25 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    from repro.experiments.reporting import fingerprint, save_result
+    from repro.experiments.resilience import resilience_sweep
+
+    result = resilience_sweep(
+        _SCALES[args.scale],
+        loss_rates=tuple(args.loss),
+        churn_rates=tuple(args.churn),
+        jobs=args.jobs,
+    )
+    print(result.render())
+    if args.out:
+        save_result(result, args.out, "resilience")
+        print(f"archived to {args.out}")
+    if args.fingerprint:
+        print(f"fingerprint: {fingerprint(result)}")
+    return 1 if result.failures else 0
+
+
 def _cmd_compare(args) -> int:
     from repro.experiments.reporting import compare_runs, load_result
 
@@ -275,6 +315,7 @@ _HANDLERS = {
     "extension": _cmd_extension,
     "trace": _cmd_trace,
     "run": _cmd_run,
+    "resilience": _cmd_resilience,
     "compare": _cmd_compare,
 }
 

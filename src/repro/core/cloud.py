@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.beacon import BeaconState
 from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
@@ -51,6 +51,7 @@ from repro.core.utility import PlacementContext
 from repro.edgecache.cache import EdgeCache
 from repro.edgecache.replacement import make_policy
 from repro.edgecache.stats import CacheStats, DecayingRate
+from repro.faults.injector import FaultInjector
 from repro.network.bandwidth import TrafficCategory
 from repro.network.origin import OriginServer
 from repro.network.transport import Transport
@@ -65,6 +66,10 @@ class RequestOutcome(enum.Enum):
     LOCAL_HIT = "local_hit"
     CLOUD_HIT = "cloud_hit"  # retrieved from a peer cache in the cloud
     ORIGIN_FETCH = "origin_fetch"  # group miss
+    # Cooperative path abandoned after exhausting the retry budget.
+    CLOUD_TIMEOUT_ORIGIN_FALLBACK = "cloud_timeout_origin_fallback"
+    # No live beacon point could be found for the document.
+    BEACON_DOWN_ORIGIN_FALLBACK = "beacon_down_origin_fallback"
 
 
 @dataclass
@@ -149,6 +154,25 @@ class CacheCloud:
         self.cycles_run = 0
         self._cycle_process: Optional[PeriodicProcess] = None
 
+        # Fault handling. ``faults is None`` keeps every legacy code path
+        # byte-identical; attaching an injector switches the protocols to
+        # their timeout/retry-aware variants. The counters below exist
+        # unconditionally (always zero on a perfect network) so results
+        # stay schema-compatible across fault-free and fault-injected runs.
+        self.faults: Optional[FaultInjector] = None
+        #: Redirect requests addressed to a dead cache instead of raising
+        #: (enabled by churn scheduling; clients re-home to a live cache).
+        self.redirect_on_dead = False
+        self.retries = 0
+        self.timeouts = 0
+        self.fault_origin_fallbacks = 0
+        self.forced_deliveries = 0
+        self.beacon_unreachable = 0
+        self.update_pushes_lost = 0
+        self.registrations_lost = 0
+        self.eviction_notices_lost = 0
+        self.requests_redirected = 0
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -169,6 +193,16 @@ class CacheCloud:
             for members in config.ring_members()
         ]
         return DynamicHashAssigner(rings, config.intra_gen)
+
+    def attach_faults(self, injector: FaultInjector) -> None:
+        """Route all cloud messaging through ``injector``.
+
+        The injector must wrap this cloud's own transport so byte
+        accounting lands on the same meter.
+        """
+        if injector.transport is not self.transport:
+            raise ValueError("fault injector must wrap the cloud's transport")
+        self.faults = injector
 
     # ------------------------------------------------------------------
     # Document mapping helpers
@@ -214,7 +248,11 @@ class CacheCloud:
         """Process one client request arriving at ``cache_id``."""
         cache = self.caches[cache_id]
         if not cache.alive:
-            raise RuntimeError(f"request routed to failed cache {cache_id}")
+            if not self.redirect_on_dead:
+                raise RuntimeError(f"request routed to failed cache {cache_id}")
+            cache_id = self._redirect_target(cache_id)
+            cache = self.caches[cache_id]
+            self.requests_redirected += 1
         self.requests_handled += 1
         cache.observe_request(doc_id, now)
         current_version = self.origin.version_of(doc_id)
@@ -258,12 +296,20 @@ class CacheCloud:
     def _serve_miss_cooperatively(
         self, cache: EdgeCache, doc_id: int, now: float
     ) -> RequestResult:
+        if self.faults is not None:
+            return self._serve_miss_with_faults(cache, doc_id, now)
         cache_id = cache.cache_id
         size = self.corpus[doc_id].size_bytes
         version = self.origin.version_of(doc_id)
         irh = self.doc_irh(doc_id)
 
-        beacon_id = self.beacon_for_doc(doc_id)
+        beacon_id = self._routable_beacon(doc_id)
+        if beacon_id is None:
+            self.beacon_unreachable += 1
+            return self._origin_fallback(
+                cache, doc_id, size, now,
+                RequestOutcome.BEACON_DOWN_ORIGIN_FALLBACK, 0.0,
+            )
         beacon = self.beacons[beacon_id]
         beacon.record_lookup(irh)
         hops = self.assigner.discovery_hops(self.corpus[doc_id].url)
@@ -334,6 +380,296 @@ class CacheCloud:
             cache.decline()
         latency_ms = 60_000.0 * (lookup_latency + transfer_latency)
         return RequestResult(outcome, latency_ms, served_by)
+
+    # ------------------------------------------------------------------
+    # Fault-aware request path
+    # ------------------------------------------------------------------
+    def _serve_miss_with_faults(
+        self, cache: EdgeCache, doc_id: int, now: float
+    ) -> RequestResult:
+        """Cooperative miss handling with lossy messaging.
+
+        Same protocol as :meth:`_serve_miss_cooperatively`, but every
+        message goes through the fault injector under the plan's retry
+        policy. A zero-fault plan delivers every first attempt with no
+        added latency, so results are value-identical to the legacy path.
+        """
+        cache_id = cache.cache_id
+        size = self.corpus[doc_id].size_bytes
+        version = self.origin.version_of(doc_id)
+        irh = self.doc_irh(doc_id)
+
+        beacon_id = self._routable_beacon(doc_id)
+        if beacon_id is None:
+            self.beacon_unreachable += 1
+            return self._origin_fallback(
+                cache, doc_id, size, now,
+                RequestOutcome.BEACON_DOWN_ORIGIN_FALLBACK, 0.0,
+            )
+        beacon = self.beacons[beacon_id]
+        hops = self.assigner.discovery_hops(self.corpus[doc_id].url)
+        ok, lookup_latency = self._lookup_with_retry(
+            cache_id, beacon_id, beacon, doc_id, irh, hops
+        )
+        if not ok:
+            self.fault_origin_fallbacks += 1
+            return self._origin_fallback(
+                cache, doc_id, size, now,
+                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK, lookup_latency,
+            )
+
+        holder_id = self._pick_holder(beacon, doc_id, cache_id, version)
+        if self.trace.enabled:
+            self.trace.emit(
+                LookupResponse(
+                    beacon_id,
+                    cache_id,
+                    doc_id,
+                    frozenset(beacon.directory.holders(doc_id)),
+                )
+            )
+
+        if holder_id is not None:
+            ok, transfer_latency = self._deliver_with_retry(
+                lambda: self.faults.deliver_document(
+                    holder_id, cache_id, size, TrafficCategory.PEER_TRANSFER
+                )
+            )
+            if not ok:
+                # The peer copy never arrived; degrade to the origin.
+                self.fault_origin_fallbacks += 1
+                return self._origin_fallback(
+                    cache, doc_id, size, now,
+                    RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
+                    lookup_latency + transfer_latency,
+                )
+            self.caches[holder_id].storage.access(doc_id, now)
+            cache.stats.cloud_hits += 1
+            outcome = RequestOutcome.CLOUD_HIT
+            served_by = holder_id
+        else:
+            cache.stats.origin_fetches += 1
+            outcome = RequestOutcome.ORIGIN_FETCH
+            if (
+                self.config.placement is PlacementScheme.BEACON
+                and cache_id != beacon_id
+            ):
+                return self._beacon_placed_fetch_with_faults(
+                    cache, doc_id, size, version, now,
+                    beacon_id, lookup_latency,
+                )
+            self.origin.serve_fetch(doc_id)
+            transfer_latency = self._fetch_from_origin_with_retry(cache_id, size)
+            served_by = self.origin.node_id
+
+        ctx = self._placement_context(cache, doc_id, size, now, beacon_id)
+        if self.placement.should_store(ctx):
+            self._admit_and_register(cache_id, doc_id, size, version, now)
+        else:
+            cache.decline()
+        latency_ms = 60_000.0 * (lookup_latency + transfer_latency)
+        return RequestResult(outcome, latency_ms, served_by)
+
+    def _beacon_placed_fetch_with_faults(
+        self,
+        cache: EdgeCache,
+        doc_id: int,
+        size: int,
+        version: int,
+        now: float,
+        beacon_id: int,
+        lookup_latency: float,
+    ) -> RequestResult:
+        """Beacon-point placement fetch (origin → beacon → requester)."""
+        cache_id = cache.cache_id
+        self.origin.serve_fetch(doc_id)
+        ok, leg_one = self._deliver_with_retry(
+            lambda: self.faults.deliver_document(
+                self.origin.node_id, beacon_id, size, TrafficCategory.ORIGIN_FETCH
+            )
+        )
+        if not ok:
+            self.fault_origin_fallbacks += 1
+            return self._origin_fallback(
+                cache, doc_id, size, now,
+                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
+                lookup_latency + leg_one,
+            )
+        self._admit_and_register(beacon_id, doc_id, size, version, now)
+        ok, leg_two = self._deliver_with_retry(
+            lambda: self.faults.deliver_document(
+                beacon_id, cache_id, size, TrafficCategory.PEER_TRANSFER
+            )
+        )
+        if not ok:
+            self.fault_origin_fallbacks += 1
+            return self._origin_fallback(
+                cache, doc_id, size, now,
+                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
+                lookup_latency + leg_one + leg_two,
+            )
+        cache.decline()  # the requester never stores under beacon placement
+        latency_ms = 60_000.0 * (lookup_latency + leg_one + leg_two)
+        return RequestResult(
+            RequestOutcome.ORIGIN_FETCH, latency_ms, self.origin.node_id
+        )
+
+    def _lookup_with_retry(
+        self,
+        cache_id: int,
+        beacon_id: int,
+        beacon: BeaconState,
+        doc_id: int,
+        irh: int,
+        hops: int,
+    ) -> Tuple[bool, float]:
+        """Run the lookup RPC (request hops + response) under retry."""
+        faults = self.faults
+        policy = faults.plan.retry
+        latency = 0.0
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                self.retries += 1
+                latency += policy.backoff_minutes(attempt - 1)
+            delivered = True
+            for _ in range(hops):
+                leg = faults.deliver_control(cache_id, beacon_id)
+                if leg is None:
+                    delivered = False
+                    break
+                latency += leg
+            if delivered:
+                # The request reached the beacon: its load counter ticks
+                # even if the response is subsequently lost.
+                beacon.record_lookup(irh)
+                if self.trace.enabled:
+                    self.trace.emit(LookupRequest(cache_id, beacon_id, doc_id))
+                response = faults.deliver_control(beacon_id, cache_id)
+                if response is None:
+                    delivered = False
+                else:
+                    latency += response
+            if delivered:
+                return True, latency
+            self.timeouts += 1
+            latency += policy.timeout_minutes
+        return False, latency
+
+    def _deliver_with_retry(
+        self, send: Callable[[], Optional[float]]
+    ) -> Tuple[bool, float]:
+        """Retry ``send`` under the plan's policy; returns (ok, latency).
+
+        The returned latency includes timeout and backoff penalties for
+        every failed attempt, so client-perceived latency reflects loss.
+        """
+        policy = self.faults.plan.retry
+        latency = 0.0
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                self.retries += 1
+                latency += policy.backoff_minutes(attempt - 1)
+            result = send()
+            if result is not None:
+                return True, latency + result
+            self.timeouts += 1
+            latency += policy.timeout_minutes
+        return False, latency
+
+    def _fetch_from_origin_with_retry(self, cache_id: int, size: int) -> float:
+        """Deliver an origin fetch, forcing delivery after the retry budget.
+
+        Origin fetches are the last line of service: when even they keep
+        getting lost the client ultimately receives the document anyway
+        (reality: a different route / longer TCP recovery), so the final
+        attempt is delivered out-of-band and counted.
+        """
+        delivered, latency = self._deliver_with_retry(
+            lambda: self.faults.deliver_document(
+                self.origin.node_id, cache_id, size, TrafficCategory.ORIGIN_FETCH
+            )
+        )
+        if not delivered:
+            self.forced_deliveries += 1
+            latency += self.transport.send_document(
+                self.origin.node_id, cache_id, size, TrafficCategory.ORIGIN_FETCH
+            )
+        return latency
+
+    def _origin_fallback(
+        self,
+        cache: EdgeCache,
+        doc_id: int,
+        size: int,
+        now: float,
+        outcome: RequestOutcome,
+        accrued_latency: float,
+    ) -> RequestResult:
+        """Serve from the origin after the cooperative path failed.
+
+        The copy is stored ad hoc but *not* registered with the beacon —
+        the directory was unreachable, which is exactly why we are here.
+        Later lookups repair any resulting staleness.
+        """
+        cache.stats.origin_fetches += 1
+        self.origin.serve_fetch(doc_id)
+        if self.faults is not None:
+            transfer_latency = self._fetch_from_origin_with_retry(
+                cache.cache_id, size
+            )
+        else:
+            transfer_latency = self.transport.send_document(
+                self.origin.node_id, cache.cache_id, size,
+                TrafficCategory.ORIGIN_FETCH,
+            )
+        version = self.origin.version_of(doc_id)
+        evicted = cache.admit(doc_id, size, version, now)
+        if evicted is None:
+            cache.decline()
+        else:
+            for evicted_doc in evicted:
+                self._notify_eviction(cache.cache_id, evicted_doc)
+        latency_ms = 60_000.0 * (accrued_latency + transfer_latency)
+        return RequestResult(outcome, latency_ms, self.origin.node_id)
+
+    def _routable_beacon(self, doc_id: int) -> Optional[int]:
+        """The document's beacon point if one is alive, else ``None``.
+
+        Under the dynamic scheme a managed failover re-homes the range, so
+        the assigner already answers with the live absorber. Static and
+        consistent hashing have no failover; a memoized answer may also be
+        stale, so drop it and recompute once before giving up.
+        """
+        beacon_id = self.beacon_for_doc(doc_id)
+        if self.caches[beacon_id].alive:
+            return beacon_id
+        if self._beacon_cache_valid and self._beacon_cache[doc_id] is not None:
+            self._beacon_cache[doc_id] = None
+            beacon_id = self.beacon_for_doc(doc_id)
+            if self.caches[beacon_id].alive:
+                return beacon_id
+        return None
+
+    def _redirect_target(self, cache_id: int) -> int:
+        """Deterministic live stand-in for a down cache.
+
+        With a topology, clients re-home to the nearest live cache; without
+        one, to the next live id in ring order.
+        """
+        if self.transport.topology is not None:
+            live = [c.cache_id for c in self.caches if c.alive]
+            if not live:
+                raise RuntimeError("no live cache to redirect to")
+            return min(
+                live,
+                key=lambda c: (self.transport.latency_minutes(cache_id, c), c),
+            )
+        n = len(self.caches)
+        for offset in range(1, n):
+            candidate = (cache_id + offset) % n
+            if self.caches[candidate].alive:
+                return candidate
+        raise RuntimeError("no live cache to redirect to")
 
     def _pick_holder(
         self, beacon: BeaconState, doc_id: int, requester: int, version: int
@@ -408,20 +744,54 @@ class CacheCloud:
             cache.decline()  # did not fit at all
             return
         beacon_id = self.beacon_for_doc(doc_id)
-        self.beacons[beacon_id].directory.add_holder(
-            doc_id, self.doc_irh(doc_id), cache_id
-        )
-        if cache_id != beacon_id:
+        if cache_id == beacon_id:
+            self.beacons[beacon_id].directory.add_holder(
+                doc_id, self.doc_irh(doc_id), cache_id
+            )
+        elif not self.caches[beacon_id].alive:
+            # Beacon unreachable: the copy stays unregistered and can only
+            # serve local hits until a later registration succeeds.
+            self.registrations_lost += 1
+        elif self.faults is None:
+            self.beacons[beacon_id].directory.add_holder(
+                doc_id, self.doc_irh(doc_id), cache_id
+            )
             self.transport.send_control(cache_id, beacon_id)  # holder registration
+        else:
+            ok, _ = self._deliver_with_retry(
+                lambda: self.faults.deliver_control(cache_id, beacon_id)
+            )
+            if ok:
+                self.beacons[beacon_id].directory.add_holder(
+                    doc_id, self.doc_irh(doc_id), cache_id
+                )
+            else:
+                self.registrations_lost += 1
         for evicted_doc in evicted:
             self._notify_eviction(cache_id, evicted_doc)
 
     def _notify_eviction(self, cache_id: int, doc_id: int) -> None:
-        """Tell the evicted document's beacon that this cache dropped it."""
+        """Tell the evicted document's beacon that this cache dropped it.
+
+        Eviction notices are best-effort (no retransmission): a lost one
+        leaves a stale directory entry that the next lookup's holder
+        verification repairs.
+        """
         beacon_id = self.beacon_for_doc(doc_id)
-        self.beacons[beacon_id].directory.remove_holder(doc_id, cache_id)
-        if cache_id != beacon_id:
+        if cache_id == beacon_id:
+            self.beacons[beacon_id].directory.remove_holder(doc_id, cache_id)
+            return
+        if not self.caches[beacon_id].alive:
+            self.eviction_notices_lost += 1
+            return
+        if self.faults is None:
+            self.beacons[beacon_id].directory.remove_holder(doc_id, cache_id)
             self.transport.send_control(cache_id, beacon_id)
+            return
+        if self.faults.deliver_control(cache_id, beacon_id) is None:
+            self.eviction_notices_lost += 1
+            return
+        self.beacons[beacon_id].directory.remove_holder(doc_id, cache_id)
 
     # ------------------------------------------------------------------
     # Update path
@@ -438,22 +808,19 @@ class CacheCloud:
         size = self.corpus[doc_id].size_bytes
 
         if not self.config.cooperation:
-            # The origin must refresh every holding cache individually.
-            refreshed = 0
-            for cache in self.caches:
-                if cache.alive and cache.holds(doc_id):
-                    self.origin.note_update_message(doc_id)
-                    self.transport.send_document(
-                        self.origin.node_id,
-                        cache.cache_id,
-                        size,
-                        TrafficCategory.UPDATE_SERVER_TO_BEACON,
-                    )
-                    cache.apply_update(doc_id, version, now, size_bytes=size)
-                    refreshed += 1
-            return refreshed
+            return self._refresh_holders_from_origin(doc_id, version, size, now)
 
-        beacon_id = self.beacon_for_doc(doc_id)
+        beacon_id = self._routable_beacon(doc_id)
+        if beacon_id is None:
+            # Dead beacon with no failover: the origin must refresh every
+            # holder individually, exactly like the no-cooperation baseline.
+            self.beacon_unreachable += 1
+            return self._refresh_holders_from_origin(doc_id, version, size, now)
+        if self.faults is not None:
+            return self._push_update_with_faults(
+                doc_id, beacon_id, version, size, now
+            )
+
         beacon = self.beacons[beacon_id]
         beacon.record_update(self.doc_irh(doc_id))
         self.origin.note_update_message(doc_id)
@@ -481,6 +848,101 @@ class CacheCloud:
                 self.transport.send_document(
                     beacon_id, holder, size, TrafficCategory.UPDATE_FANOUT
                 )
+                if self.trace.enabled:
+                    self.trace.emit(
+                        UpdatePush(beacon_id, holder, doc_id, version, size)
+                    )
+            self.caches[holder].apply_update(doc_id, version, now, size_bytes=size)
+            refreshed += 1
+        return refreshed
+
+    def _refresh_holders_from_origin(
+        self, doc_id: int, version: int, size: int, now: float
+    ) -> int:
+        """The origin refreshes every holding cache individually.
+
+        Serves both the no-cooperation baseline and the degraded update
+        path when no live beacon exists. With faults attached, each
+        refresh retries under the policy; a holder whose refresh is lost
+        stays stale (repaired + counted on its next request).
+        """
+        refreshed = 0
+        for cache in self.caches:
+            if cache.alive and cache.holds(doc_id):
+                self.origin.note_update_message(doc_id)
+                if self.faults is None:
+                    self.transport.send_document(
+                        self.origin.node_id,
+                        cache.cache_id,
+                        size,
+                        TrafficCategory.UPDATE_SERVER_TO_BEACON,
+                    )
+                else:
+                    ok, _ = self._deliver_with_retry(
+                        lambda c=cache.cache_id: self.faults.deliver_document(
+                            self.origin.node_id, c, size,
+                            TrafficCategory.UPDATE_SERVER_TO_BEACON,
+                        )
+                    )
+                    if not ok:
+                        self.update_pushes_lost += 1
+                        continue
+                cache.apply_update(doc_id, version, now, size_bytes=size)
+                refreshed += 1
+        return refreshed
+
+    def _push_update_with_faults(
+        self, doc_id: int, beacon_id: int, version: int, size: int, now: float
+    ) -> int:
+        """Cooperative update propagation with lossy messaging.
+
+        A lost server→beacon transfer leaves *every* holder stale; a lost
+        fan-out push leaves that one holder stale. Both are detected by the
+        version check on the holder's next request and repaired there.
+        """
+        beacon = self.beacons[beacon_id]
+        irh = self.doc_irh(doc_id)
+        holders = [
+            h
+            for h in sorted(beacon.directory.holders(doc_id))
+            if self.caches[h].alive and self.caches[h].holds(doc_id)
+        ]
+        carries_body = bool(holders)
+        if self.trace.enabled:
+            self.trace.emit(
+                UpdateNotice(doc_id, version, beacon_id, carries_body, size)
+            )
+        self.origin.note_update_message(doc_id)
+        if not carries_body:
+            ok, _ = self._deliver_with_retry(
+                lambda: self.faults.deliver_control(self.origin.node_id, beacon_id)
+            )
+            if ok:
+                beacon.record_update(irh)
+            return 0
+        ok, _ = self._deliver_with_retry(
+            lambda: self.faults.deliver_document(
+                self.origin.node_id, beacon_id, size,
+                TrafficCategory.UPDATE_SERVER_TO_BEACON,
+            )
+        )
+        if not ok:
+            # The fresh body never reached the beacon: every holder is now
+            # stale until its next request triggers the repair path.
+            self.update_pushes_lost += len(holders)
+            return 0
+        beacon.record_update(irh)
+        refreshed = 0
+        for holder in holders:
+            if holder != beacon_id:
+                ok, _ = self._deliver_with_retry(
+                    lambda h=holder: self.faults.deliver_document(
+                        beacon_id, h, size, TrafficCategory.UPDATE_FANOUT
+                    )
+                )
+                if not ok:
+                    self.update_pushes_lost += 1
+                    continue
                 if self.trace.enabled:
                     self.trace.emit(
                         UpdatePush(beacon_id, holder, doc_id, version, size)
@@ -589,6 +1051,28 @@ class CacheCloud:
         """Mean over caches of (resident documents / corpus size)."""
         total = sum(len(cache.storage) for cache in self.caches)
         return total / (len(self.caches) * len(self.corpus))
+
+    def resilience_summary(self) -> Dict[str, float]:
+        """Flat fault/failure counter summary (all zero on a perfect run)."""
+        summary = {
+            "retries": float(self.retries),
+            "timeouts": float(self.timeouts),
+            "fault_origin_fallbacks": float(self.fault_origin_fallbacks),
+            "forced_deliveries": float(self.forced_deliveries),
+            "beacon_unreachable": float(self.beacon_unreachable),
+            "update_pushes_lost": float(self.update_pushes_lost),
+            "registrations_lost": float(self.registrations_lost),
+            "eviction_notices_lost": float(self.eviction_notices_lost),
+            "requests_redirected": float(self.requests_redirected),
+            "stale_refreshes": float(self.stale_refreshes),
+            "directory_repairs": float(self.directory_repairs),
+        }
+        if self.faults is not None and self.faults.plan.enabled:
+            summary.update(self.faults.stats.as_dict())
+        if self.failure_manager is not None:
+            summary["failovers"] = float(self.failure_manager.failovers)
+            summary["recoveries"] = float(self.failure_manager.recoveries)
+        return summary
 
     def aggregate_stats(self) -> CacheStats:
         """Sum of all per-cache counters."""

@@ -43,8 +43,10 @@ class FailureResilienceManager:
 
     def __init__(self, cloud) -> None:
         self._cloud = cloud
-        #: cache_id -> last synced directory snapshot (held at the buddy).
-        self._replicas: Dict[int, List[Entry]] = {}
+        #: cache_id -> (buddy holding the replica, last synced snapshot).
+        #: The holder matters: a replica physically lives at the buddy, so
+        #: it dies with the buddy — overlapping failures can lose it.
+        self._replicas: Dict[int, Tuple[int, List[Entry]]] = {}
         #: Original (ring_index, position) of each member, for reinstatement.
         self._home: Dict[int, Tuple[int, int]] = {}
         for ring_index, ring in enumerate(cloud.assigner.rings):
@@ -54,6 +56,8 @@ class FailureResilienceManager:
         self.failovers = 0
         self.recoveries = 0
         self.stale_entries_installed = 0
+        #: Replicas destroyed because the buddy holding them crashed.
+        self.replicas_lost = 0
 
     # ------------------------------------------------------------------
     # Buddies
@@ -79,7 +83,7 @@ class FailureResilienceManager:
             if buddy is None:
                 continue
             snapshot = beacon.directory.snapshot()
-            self._replicas[cache_id] = snapshot
+            self._replicas[cache_id] = (buddy, snapshot)
             self._cloud.transport.send(
                 cache_id,
                 buddy,
@@ -97,16 +101,34 @@ class FailureResilienceManager:
         cache = cloud.caches[cache_id]
         if not cache.alive:
             raise ValueError(f"cache {cache_id} is already down")
+        ring_index, _ = self._home[cache_id]
+        ring = cloud.assigner.rings[ring_index]
+        if cache_id in ring.members and len(ring.members) < 2:
+            # Refuse before mutating anything: emptying a ring would leave
+            # its documents with no beacon point at all.
+            raise ValueError(
+                f"cache {cache_id} is the last live member of ring "
+                f"{ring_index}; cannot fail it"
+            )
         cache.fail(now)
         # Its stored copies are gone: scrub every live directory.
         for other_id, beacon in cloud.beacons.items():
             if other_id != cache_id:
                 beacon.directory.drop_cache(cache_id)
-        ring_index, _ = self._home[cache_id]
-        ring = cloud.assigner.rings[ring_index]
+        # Replicas physically held at the failed node die with its disk.
+        for owner in list(self._replicas):
+            holder, _ = self._replicas[owner]
+            if holder == cache_id:
+                del self._replicas[owner]
+                self.replicas_lost += 1
         absorber = ring.remove_member(cache_id)
         # Install the (possibly stale) buddy replica at the absorber.
-        replica = self._replicas.pop(cache_id, [])
+        holder, replica = self._replicas.pop(cache_id, (None, []))
+        if holder is not None and not cloud.caches[holder].alive:
+            # Belt and braces: a dead holder's replicas were already
+            # dropped above when it failed.
+            replica = []
+            self.replicas_lost += 1
         scrubbed: List[Entry] = []
         for doc_id, irh, holders in replica:
             holders = {h for h in holders if h != cache_id and cloud.caches[h].alive}

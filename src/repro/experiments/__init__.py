@@ -8,15 +8,19 @@
   figure reproductions and the ablation benches.
 * :mod:`~repro.experiments.parallel` — fans independent sweep runs out over
   worker processes (``run_sweep``), with value-identical serial fallback.
+* :mod:`~repro.experiments.resilience` — hit-rate/origin-load degradation
+  sweep under message loss and churn (``resilience_sweep``).
 """
 
 from repro.experiments.parallel import (
     ExperimentSpec,
+    FailedRun,
     WorkloadSpec,
     resolve_jobs,
     run_spec,
     run_sweep,
 )
+from repro.experiments.resilience import ResilienceSweepResult, resilience_sweep
 from repro.experiments.runner import (
     ExperimentResult,
     TraceFeeder,
@@ -28,10 +32,13 @@ from repro.experiments.sweeps import UPDATE_RATE_SWEEP, ZIPF_SWEEP
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "FailedRun",
+    "ResilienceSweepResult",
     "TraceFeeder",
     "UPDATE_RATE_SWEEP",
     "WorkloadSpec",
     "ZIPF_SWEEP",
+    "resilience_sweep",
     "resolve_jobs",
     "run_experiment",
     "run_spec",

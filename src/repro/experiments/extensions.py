@@ -419,6 +419,8 @@ class FailureResilienceResult:
         "cloud hit rate (%)",
         "origin fetches",
         "directory repairs",
+        "failovers",
+        "redirected requests",
     )
     rows: List[Tuple] = field(default_factory=list)
 
@@ -447,11 +449,18 @@ def failure_resilience_value(scale: FigureScale = SMALL_SCALE) -> FailureResilie
     """Measure what the buddy replica buys after a beacon-point crash.
 
     Two identical clouds are warmed on the first half of a trace; the
-    busiest beacon point then crashes. One cloud has synced its replicas
-    (the paper's lazy replication); the other's replicas are discarded
-    before the crash (a strawman without the extension). The second half
-    of the trace measures post-failure service quality.
+    busiest beacon point then crashes — scheduled through a scripted
+    :class:`~repro.faults.churn.ChurnSchedule`, so the failure flows
+    through the failure manager and its failover/redirect metrics instead
+    of bypassing them. One cloud has synced its replicas (the paper's lazy
+    replication); the other's replicas are discarded before the crash (a
+    strawman without the extension). The second half of the trace measures
+    post-failure service quality; requests addressed to the dead cache are
+    redirected (and counted) by the churn machinery.
     """
+    from repro.edgecache.stats import CacheStats
+    from repro.faults.churn import FAIL, ChurnEvent, ChurnSchedule
+
     corpus, trace = _sydney(scale)
     half_time = scale.duration_minutes / 2.0
     first = [r for r in trace.requests if r.time < half_time]
@@ -478,21 +487,16 @@ def failure_resilience_value(scale: FigureScale = SMALL_SCALE) -> FailureResilie
         victim = max(
             cloud.beacons, key=lambda c: len(cloud.beacons[c].directory)
         )
-        cloud.fail_cache(victim, half_time)
+        schedule = ChurnSchedule([ChurnEvent(half_time, victim, FAIL)])
 
         # Measure the post-failure window only.
         for cache in cloud.caches:
-            from repro.edgecache.stats import CacheStats
-
             cache.stats = CacheStats()
         fetches_before = cloud.origin.fetches_served
         repairs_before = cloud.directory_repairs
-        survivors = [c for c in range(10) if c != victim]
         for record in second:
-            requester = record.cache_id
-            if requester == victim:
-                requester = survivors[record.doc_id % len(survivors)]
-            cloud.handle_request(requester, record.doc_id, record.time)
+            schedule.apply_due(cloud, record.time)
+            cloud.handle_request(record.cache_id, record.doc_id, record.time)
         stats = cloud.aggregate_stats()
         result.rows.append(
             (
@@ -500,6 +504,8 @@ def failure_resilience_value(scale: FigureScale = SMALL_SCALE) -> FailureResilie
                 100.0 * stats.cloud_hit_rate,
                 cloud.origin.fetches_served - fetches_before,
                 cloud.directory_repairs - repairs_before,
+                schedule.stats.failures,
+                cloud.requests_redirected,
             )
         )
     return result

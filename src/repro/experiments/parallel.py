@@ -38,6 +38,8 @@ from typing import Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.core.config import CloudConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.faults.churn import ChurnSpec
+from repro.faults.plan import FaultPlan
 from repro.workload.documents import Corpus, build_corpus, seed_corpus_rng
 from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
 from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
@@ -115,6 +117,29 @@ class ExperimentSpec:
     workload: WorkloadSpec
     duration: float
     warmup: Optional[float] = None
+    #: Optional message-fault plan; both are frozen and picklable, so
+    #: fault-injected sweeps parallelize like any other.
+    fault_plan: Optional[FaultPlan] = None
+    #: Optional churn timeline recipe (requires failure_resilience=True).
+    churn: Optional[ChurnSpec] = None
+
+
+@dataclass
+class FailedRun:
+    """Placeholder result for a spec that failed on both attempts.
+
+    Sweeps report failures positionally instead of aborting: the slot that
+    would hold the :class:`ExperimentResult` holds a :class:`FailedRun`
+    carrying the spec key and the final error.
+    """
+
+    key: object
+    error: str
+    error_type: str
+
+
+#: What one sweep slot can hold.
+SweepResult = Union[ExperimentResult, FailedRun]
 
 
 def run_spec(spec: ExperimentSpec) -> ExperimentResult:
@@ -127,6 +152,8 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         trace.updates,
         duration=spec.duration,
         warmup=spec.warmup,
+        fault_plan=spec.fault_plan,
+        churn=spec.churn,
     )
     result.unique_request_docs = len(trace.request_counts_by_doc())
     return result.detached()
@@ -157,7 +184,7 @@ def run_sweep(
     specs: Iterable[ExperimentSpec],
     jobs: Optional[int] = None,
     runner: Callable[[ExperimentSpec], ExperimentResult] = run_spec,
-) -> List[ExperimentResult]:
+) -> List[SweepResult]:
     """Execute every spec; returns results in spec order.
 
     ``jobs`` is resolved through :func:`resolve_jobs` (explicit value, then
@@ -166,6 +193,11 @@ def run_sweep(
     order, so the output is positionally aligned with ``specs`` regardless
     of completion order. The ``runner`` must be picklable for parallel
     execution (the default, :func:`run_spec`, is).
+
+    A spec that raises is retried once serially in the parent; if the retry
+    also fails its slot holds a :class:`FailedRun` instead of aborting the
+    whole sweep. A broken worker *pool* (crashed process, missing
+    semaphores) still falls back to full serial execution.
 
     Identical seeds produce identical result values at any job count.
     """
@@ -186,15 +218,40 @@ def run_sweep(
         return _run_serial(spec_list, runner)
 
 
+def _retry_serially(
+    spec: ExperimentSpec,
+    runner: Callable[[ExperimentSpec], ExperimentResult],
+    first_error: BaseException,
+) -> SweepResult:
+    """One serial retry of a failed spec; reports a FailedRun on re-failure."""
+    logger.error(
+        "sweep run %r failed (%s: %s); retrying once serially",
+        spec.key, type(first_error).__name__, first_error,
+    )
+    try:
+        return runner(spec)
+    except Exception as exc:
+        logger.error(
+            "sweep run %r failed again (%s: %s); reporting it as a FailedRun",
+            spec.key, type(exc).__name__, exc,
+        )
+        return FailedRun(
+            key=spec.key, error=str(exc), error_type=type(exc).__name__
+        )
+
+
 def _run_serial(
     specs: List[ExperimentSpec],
     runner: Callable[[ExperimentSpec], ExperimentResult],
-) -> List[ExperimentResult]:
-    results: List[ExperimentResult] = []
+) -> List[SweepResult]:
+    results: List[SweepResult] = []
     total = len(specs)
     for index, spec in enumerate(specs, start=1):
         start = time.perf_counter()
-        results.append(runner(spec))
+        try:
+            results.append(runner(spec))
+        except Exception as exc:
+            results.append(_retry_serially(spec, runner, exc))
         logger.info(
             "sweep run %d/%d %r: %.2fs (serial)",
             index, total, spec.key, time.perf_counter() - start,
@@ -206,15 +263,21 @@ def _run_parallel(
     specs: List[ExperimentSpec],
     workers: int,
     runner: Callable[[ExperimentSpec], ExperimentResult],
-) -> List[ExperimentResult]:
+) -> List[SweepResult]:
     total = len(specs)
     start = time.perf_counter()
-    results: List[ExperimentResult] = []
+    results: List[SweepResult] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(runner, spec) for spec in specs]
         logger.info("sweep: %d runs on %d worker processes", total, workers)
         for index, (spec, future) in enumerate(zip(specs, futures), start=1):
-            results.append(future.result())
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                # The pool itself died; let run_sweep fall back to serial.
+                raise
+            except Exception as exc:
+                results.append(_retry_serially(spec, runner, exc))
             logger.info(
                 "sweep run %d/%d %r: collected at +%.2fs",
                 index, total, spec.key, time.perf_counter() - start,

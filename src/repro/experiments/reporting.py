@@ -10,11 +10,14 @@ schema and loads them back for comparison:
   objects with ``render``, mappings with non-string keys).
 * :func:`compare_runs` — relative deltas between two archived runs of the
   same experiment, flagging series that moved more than a tolerance.
+* :func:`fingerprint` — a SHA-256 over the canonical JSON of a result, for
+  cheap determinism assertions (same seed → same fingerprint).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from enum import Enum
 from pathlib import Path
@@ -57,6 +60,16 @@ def _key(key: Any) -> str:
     if isinstance(key, tuple):
         return "|".join(str(part) for part in key)
     return repr(key)
+
+
+def fingerprint(result: Any) -> str:
+    """SHA-256 hex digest of ``result``'s canonical JSON form.
+
+    Two runs with the same seed must produce the same fingerprint at any
+    job count — the property the CI chaos-smoke job asserts.
+    """
+    payload = json.dumps(to_jsonable(result), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def save_result(result: Any, path: Union[str, Path], name: str) -> Dict[str, Any]:

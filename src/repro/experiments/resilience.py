@@ -1,0 +1,158 @@
+"""Resilience sweep: service degradation under message loss and churn.
+
+The paper evaluates cache clouds on a perfect network; this sweep measures
+how gracefully the protocols degrade when the network is not. Each sweep
+point runs the same workload under a :class:`~repro.faults.plan.FaultPlan`
+(uniform message loss) and a :class:`~repro.faults.churn.ChurnSpec`
+(Poisson fail/recover timeline through the failure manager), and reports
+hit rate, origin load, and the repair-path counters.
+
+Expected shape: cloud hit rate decreases monotonically and origin fetches
+increase monotonically as the loss rate grows — lost lookups and peer
+transfers degrade to origin fallbacks — while retries/timeouts/stale
+repairs quantify the protocol work spent resisting that slide. All points
+are seeded, so the sweep is value-identical at any ``--jobs`` count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.experiments.figures import FigureScale, SMALL_SCALE, _zipf_workload
+from repro.experiments.parallel import (
+    ExperimentSpec,
+    FailedRun,
+    derive_seed,
+    run_sweep,
+)
+from repro.faults.churn import ChurnSpec
+from repro.faults.plan import FaultPlan
+from repro.metrics.report import Table, format_figure_header
+
+
+@dataclass
+class ResilienceSweepResult:
+    """Degradation rows over the (loss rate × churn rate) grid."""
+
+    columns: Tuple[str, ...] = (
+        "loss rate",
+        "churn/min",
+        "cloud hit rate (%)",
+        "origin fetches",
+        "retries",
+        "timeouts",
+        "stale refreshes",
+        "directory repairs",
+        "failovers",
+        "unavailable (min)",
+    )
+    rows: List[Tuple] = field(default_factory=list)
+    #: Sweep points that failed both attempts (empty on healthy runs).
+    failures: List[FailedRun] = field(default_factory=list)
+
+    def row(self, loss_rate: float, churn_rate: float) -> Tuple:
+        """The row for the ``(loss_rate, churn_rate)`` sweep point."""
+        for row in self.rows:
+            if row[0] == loss_rate and row[1] == churn_rate:
+                return row
+        raise KeyError((loss_rate, churn_rate))
+
+    def hit_rate(self, loss_rate: float, churn_rate: float) -> float:
+        """Cloud hit rate (%) at one sweep point."""
+        return self.row(loss_rate, churn_rate)[2]
+
+    def render(self) -> str:
+        table = Table(list(self.columns), precision=2)
+        for row in self.rows:
+            table.add_row(*row)
+        lines = [
+            format_figure_header(
+                "Resilience", "service degradation vs message loss and churn"
+            ),
+            table.render(),
+        ]
+        for failed in self.failures:
+            lines.append(
+                f"FAILED {failed.key}: {failed.error_type}: {failed.error}"
+            )
+        return "\n".join(lines)
+
+
+def resilience_sweep(
+    scale: FigureScale = SMALL_SCALE,
+    loss_rates: Sequence[float] = (0.0, 0.05, 0.2, 0.5),
+    churn_rates: Sequence[float] = (0.0, 0.05),
+    jobs: Optional[int] = None,
+) -> ResilienceSweepResult:
+    """Run the (loss × churn) grid; returns one table row per point.
+
+    Every point uses the dynamic assignment scheme with failure resilience
+    enabled — churn events must flow through the failure manager — and the
+    same Zipf workload, so the only variable across rows is the fault
+    regime.
+    """
+    config = CloudConfig(
+        num_caches=10,
+        num_rings=5,
+        intra_gen=1000,
+        cycle_length=scale.cycle_length,
+        assignment=AssignmentScheme.DYNAMIC,
+        placement=PlacementScheme.AD_HOC,
+        failure_resilience=True,
+        seed=scale.seed,
+    )
+    workload = _zipf_workload(scale, config.num_caches)
+    duration = scale.duration_minutes
+    specs = []
+    for loss_rate in loss_rates:
+        for churn_rate in churn_rates:
+            churn = None
+            if churn_rate > 0.0:
+                churn = ChurnSpec(
+                    duration_minutes=duration,
+                    failure_rate_per_minute=churn_rate,
+                    # Long enough to hurt, short enough that recovery (and
+                    # the repair path) is exercised within the run.
+                    mean_downtime_minutes=2.0 * scale.cycle_length,
+                    start_minutes=min(scale.cycle_length, duration / 4.0),
+                    seed=derive_seed(scale.seed, "churn", churn_rate),
+                )
+            specs.append(
+                ExperimentSpec(
+                    key=(loss_rate, churn_rate),
+                    config=config,
+                    workload=workload,
+                    duration=duration,
+                    warmup=min(2.0 * config.cycle_length, duration / 2.0),
+                    fault_plan=FaultPlan(
+                        seed=derive_seed(scale.seed, "loss", loss_rate),
+                        loss_rate=loss_rate,
+                    ),
+                    churn=churn,
+                )
+            )
+
+    result = ResilienceSweepResult()
+    for spec, outcome in zip(specs, run_sweep(specs, jobs=jobs)):
+        if isinstance(outcome, FailedRun):
+            result.failures.append(outcome)
+            continue
+        loss_rate, churn_rate = spec.key
+        resilience = outcome.resilience
+        result.rows.append(
+            (
+                loss_rate,
+                churn_rate,
+                100.0 * outcome.stats.cloud_hit_rate,
+                outcome.stats.origin_fetches,
+                resilience.get("retries", 0.0),
+                resilience.get("timeouts", 0.0),
+                resilience.get("stale_refreshes", 0.0),
+                resilience.get("directory_repairs", 0.0),
+                resilience.get("failovers", 0.0),
+                resilience.get("unavailability_minutes", 0.0),
+            )
+        )
+    return result

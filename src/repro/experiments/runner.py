@@ -14,10 +14,14 @@ from typing import Dict, Iterable, Iterator, Optional, Union
 from repro.core.cloud import CacheCloud
 from repro.core.config import CloudConfig
 from repro.edgecache.stats import CacheStats
+from repro.faults.churn import ChurnSchedule, ChurnSpec
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.loadbalance import LoadBalanceStats, load_balance_stats
 from repro.network.bandwidth import TrafficMeter
 from repro.simulation.engine import Simulator
 from repro.simulation.events import EventPriority
+from repro.simulation.rng import derive_seed
 from repro.workload.documents import Corpus
 from repro.workload.trace import (
     RequestRecord,
@@ -103,6 +107,8 @@ class ExperimentResult:
     #: Unique documents in the request stream (filled in by spec-driven runs,
     #: which materialize the trace; 0 when driven from raw streams).
     unique_request_docs: int = 0
+    #: Flat fault/churn/repair counter summary (all zero on a perfect run).
+    resilience: Dict[str, float] = field(default_factory=dict)
 
     @property
     def measured_span(self) -> float:
@@ -131,6 +137,8 @@ def run_experiment(
     duration: float,
     warmup: Optional[float] = None,
     cloud: Optional[CacheCloud] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    churn: Optional[ChurnSpec] = None,
 ) -> ExperimentResult:
     """Run one trace-driven experiment.
 
@@ -151,6 +159,14 @@ def run_experiment(
     cloud:
         Pre-built cloud (for experiments that pre-populate or fail caches);
         built from ``config``/``corpus`` when omitted.
+    fault_plan:
+        Optional message-fault description; when given, a seeded
+        :class:`~repro.faults.injector.FaultInjector` is attached to the
+        cloud. The injector seed mixes ``config.seed`` with the plan's own
+        seed so sweep points stay independent but reproducible.
+    churn:
+        Optional churn timeline; events fire as simulation events through
+        the cloud's failure manager (requires ``failure_resilience=True``).
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -162,6 +178,18 @@ def run_experiment(
     simulator = Simulator()
     if cloud is None:
         cloud = CacheCloud(config, corpus)
+    if fault_plan is not None:
+        cloud.attach_faults(
+            FaultInjector(
+                fault_plan,
+                cloud.transport,
+                seed=derive_seed(config.seed, f"faults:{fault_plan.seed}"),
+            )
+        )
+    schedule: Optional[ChurnSchedule] = None
+    if churn is not None:
+        schedule = ChurnSchedule.from_spec(churn, config.num_caches)
+        schedule.attach(cloud, simulator)
     cloud.attach_cycles(simulator)
     feeder = TraceFeeder(simulator, cloud, merge_streams(requests, updates))
     feeder.start()
@@ -177,6 +205,8 @@ def run_experiment(
             warmup, _reset_counters, priority=EventPriority.METRICS, label="warmup-reset"
         )
     simulator.run_until(duration)
+    if schedule is not None:
+        schedule.finalize(duration)
 
     span = duration - warmup
     beacon_loads = {
@@ -206,6 +236,9 @@ def run_experiment(
             b.directory_entries_migrated for b in cloud.beacons.values()
         ),
     )
+    result.resilience = cloud.resilience_summary()
+    if schedule is not None:
+        result.resilience.update(schedule.stats.as_dict())
     return result
 
 

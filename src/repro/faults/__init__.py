@@ -1,0 +1,40 @@
+"""Fault injection for the cache-cloud message and membership planes.
+
+The seed reproduction assumes a perfect network: every lookup, peer
+transfer, and update push succeeds unconditionally. This package supplies
+the deterministic fault model that grows the system toward production
+realism:
+
+* :mod:`~repro.faults.plan` — :class:`FaultPlan` (what can go wrong on the
+  wire) and :class:`RetryPolicy` (how senders react).
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, the seeded wrapper
+  around :class:`~repro.network.transport.Transport` that drops, duplicates,
+  delays, and partitions messages.
+* :mod:`~repro.faults.churn` — :class:`ChurnSchedule`, failing and
+  recovering caches on scripted or Poisson timelines through the
+  :class:`~repro.core.failure.FailureResilienceManager`.
+
+Everything is seeded and picklable, so fault-injected sweeps remain
+value-identical between serial and parallel execution.
+"""
+
+from repro.faults.churn import (
+    ChurnEvent,
+    ChurnSchedule,
+    ChurnSpec,
+    ChurnStats,
+)
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import NO_FAULTS, FaultPlan, RetryPolicy
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ChurnSpec",
+    "ChurnStats",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "NO_FAULTS",
+    "RetryPolicy",
+]

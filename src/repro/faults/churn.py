@@ -1,0 +1,243 @@
+"""Churn scheduling: failing and recovering caches on a timeline.
+
+The seed exercises node failure exactly once, by hand. Production edge
+networks instead see *churn* — nodes leaving and rejoining continuously —
+and Carlsson & Eager argue caches must be evaluated under exactly that
+regime rather than at steady state. This module provides:
+
+* :class:`ChurnEvent` — one scripted ``fail``/``recover`` at a time.
+* :class:`ChurnSpec` — a small picklable recipe: scripted events plus an
+  optional Poisson process (failure rate, mean exponential downtime), all
+  derived from a seed so sweeps stay deterministic at any job count.
+* :class:`ChurnSchedule` — the executor. It can ``attach`` to a
+  :class:`~repro.simulation.engine.Simulator` (events fire as simulation
+  events, before same-instant traffic) or be stepped manually with
+  :meth:`apply_due` from loop-driven experiment code. Either way every
+  fail/recover goes through the cloud's
+  :class:`~repro.core.failure.FailureResilienceManager`, so failover,
+  directory scrubbing, and buddy-replica installation are exercised and
+  counted — never bypassed.
+
+Safety rails: an event that would fail an already-dead cache, recover a
+live one, or take down the *last* live member of a beacon ring is skipped
+(and counted as skipped) instead of corrupting the run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventPriority
+from repro.simulation.rng import derive_seed
+
+FAIL = "fail"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change."""
+
+    time: float
+    cache_id: int
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.action not in (FAIL, RECOVER):
+            raise ValueError(f"action must be '{FAIL}' or '{RECOVER}'")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Picklable recipe for a churn timeline.
+
+    ``events`` are scripted outages; the Poisson knobs add random churn on
+    top. ``failure_rate_per_minute`` is cloud-wide: each arrival picks a
+    victim uniformly and keeps it down for an exponential time with mean
+    ``mean_downtime_minutes``.
+    """
+
+    duration_minutes: float
+    failure_rate_per_minute: float = 0.0
+    mean_downtime_minutes: float = 10.0
+    start_minutes: float = 0.0
+    seed: int = 0
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_minutes <= 0:
+            raise ValueError("duration_minutes must be > 0")
+        if self.failure_rate_per_minute < 0:
+            raise ValueError("failure_rate_per_minute must be >= 0")
+        if self.mean_downtime_minutes <= 0:
+            raise ValueError("mean_downtime_minutes must be > 0")
+        if not 0 <= self.start_minutes < self.duration_minutes:
+            raise ValueError("start_minutes must lie in [0, duration_minutes)")
+
+    def build_events(self, num_caches: int) -> List[ChurnEvent]:
+        """Materialize the full (scripted + Poisson) timeline, time-sorted."""
+        events = list(self.events)
+        if self.failure_rate_per_minute > 0.0:
+            rng = random.Random(derive_seed(self.seed, "churn-timeline"))
+            t = self.start_minutes
+            while True:
+                t += rng.expovariate(self.failure_rate_per_minute)
+                if t >= self.duration_minutes:
+                    break
+                victim = rng.randrange(num_caches)
+                downtime = rng.expovariate(1.0 / self.mean_downtime_minutes)
+                events.append(ChurnEvent(t, victim, FAIL))
+                events.append(ChurnEvent(t + downtime, victim, RECOVER))
+        events.sort(key=lambda e: (e.time, e.cache_id, e.action))
+        return events
+
+
+@dataclass
+class ChurnStats:
+    """What the schedule actually did to the cloud."""
+
+    failures: int = 0
+    recoveries: int = 0
+    skipped: int = 0
+    #: Closed unavailability windows, total simulated minutes.
+    unavailability_minutes: float = 0.0
+    unavailability_windows: int = 0
+    #: cache_id -> fail time of the currently open window.
+    open_windows: Dict[int, float] = field(default_factory=dict)
+
+    def open_window(self, cache_id: int, now: float) -> None:
+        """Start an unavailability window for ``cache_id``."""
+        self.open_windows[cache_id] = now
+
+    def close_window(self, cache_id: int, now: float) -> None:
+        """Close ``cache_id``'s window and accumulate its length."""
+        started = self.open_windows.pop(cache_id, None)
+        if started is None:
+            return
+        self.unavailability_minutes += max(0.0, now - started)
+        self.unavailability_windows += 1
+
+    def finalize(self, now: float) -> None:
+        """Close every still-open window at ``now`` (end of run)."""
+        for cache_id in list(self.open_windows):
+            self.close_window(cache_id, now)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary for reports."""
+        return {
+            "churn_failures": float(self.failures),
+            "churn_recoveries": float(self.recoveries),
+            "churn_skipped": float(self.skipped),
+            "unavailability_minutes": self.unavailability_minutes,
+            "unavailability_windows": float(self.unavailability_windows),
+        }
+
+
+class ChurnSchedule:
+    """Executes a churn timeline against one cloud.
+
+    The target cloud must have ``failure_resilience=True``: every event is
+    routed through its :class:`~repro.core.failure.FailureResilienceManager`
+    so failover and repair metrics are recorded rather than bypassed.
+    """
+
+    def __init__(self, events: Sequence[ChurnEvent]) -> None:
+        self.events: List[ChurnEvent] = sorted(
+            events, key=lambda e: (e.time, e.cache_id, e.action)
+        )
+        self.stats = ChurnStats()
+        self._cursor = 0
+
+    @classmethod
+    def from_spec(cls, spec: ChurnSpec, num_caches: int) -> "ChurnSchedule":
+        """Build the executable schedule from a picklable recipe."""
+        return cls(spec.build_events(num_caches))
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def attach(self, cloud, simulator: Simulator) -> None:
+        """Arm every event on ``simulator`` against ``cloud``.
+
+        Events use CONTROL priority so a same-instant request already sees
+        the membership change. Requests addressed to a down cache are
+        redirected (and counted) instead of raising.
+        """
+        self._require_manager(cloud)
+        cloud.redirect_on_dead = True
+        for event in self.events:
+            simulator.schedule_at(
+                max(event.time, simulator.now),
+                lambda e=event: self.apply(cloud, e, simulator.now),
+                priority=EventPriority.CONTROL,
+                label="churn",
+            )
+
+    def apply_due(self, cloud, now: float) -> int:
+        """Apply every not-yet-applied event with ``time <= now``.
+
+        For loop-driven experiments that feed records without a simulator.
+        Returns the number of events processed (including skipped ones).
+        """
+        self._require_manager(cloud)
+        cloud.redirect_on_dead = True
+        processed = 0
+        while self._cursor < len(self.events) and self.events[self._cursor].time <= now:
+            event = self.events[self._cursor]
+            self._cursor += 1
+            self.apply(cloud, event, max(event.time, 0.0))
+            processed += 1
+        return processed
+
+    def apply(self, cloud, event: ChurnEvent, now: float) -> bool:
+        """Apply one event; returns False when it was skipped."""
+        cache = cloud.caches[event.cache_id]
+        if event.action == FAIL:
+            if not cache.alive or self._is_last_live_ring_member(
+                cloud, event.cache_id
+            ):
+                self.stats.skipped += 1
+                return False
+            cloud.fail_cache(event.cache_id, now)
+            self.stats.failures += 1
+            self.stats.open_window(event.cache_id, now)
+            return True
+        if cache.alive:
+            self.stats.skipped += 1
+            return False
+        cloud.recover_cache(event.cache_id, now)
+        self.stats.recoveries += 1
+        self.stats.close_window(event.cache_id, now)
+        return True
+
+    def finalize(self, now: float) -> None:
+        """Close open unavailability windows at the end of the run."""
+        self.stats.finalize(now)
+
+    # ------------------------------------------------------------------
+    # Guards
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _require_manager(cloud) -> None:
+        if getattr(cloud, "failure_manager", None) is None:
+            raise RuntimeError(
+                "churn scheduling requires a cloud with failure_resilience=True"
+            )
+
+    @staticmethod
+    def _is_last_live_ring_member(cloud, cache_id: int) -> bool:
+        """Whether failing ``cache_id`` would empty its beacon ring."""
+        ring_index, _ = cloud.failure_manager._home[cache_id]
+        members = cloud.assigner.rings[ring_index].members
+        return cache_id in members and len(members) < 2
+
+    def __repr__(self) -> str:
+        return (
+            f"ChurnSchedule(events={len(self.events)}, "
+            f"failures={self.stats.failures}, recoveries={self.stats.recoveries})"
+        )

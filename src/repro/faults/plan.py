@@ -1,0 +1,156 @@
+"""Declarative fault plans for the message fabric.
+
+A :class:`FaultPlan` describes *what can go wrong* on the wire — message
+loss, duplication, delay, and link partitions — without saying anything
+about *when*: the when is decided by the seeded RNG inside
+:class:`~repro.faults.injector.FaultInjector`, so a plan is a small, frozen,
+picklable value that can ride inside an
+:class:`~repro.experiments.parallel.ExperimentSpec` across process
+boundaries.
+
+Rates compose most-specific-first: a per-link rate overrides a per-category
+rate, which overrides the plan-wide default. A fully zeroed plan
+(:data:`NO_FAULTS`) is an explicit promise of pass-through behaviour: the
+injector draws no random numbers and charges the traffic meter exactly as a
+bare :class:`~repro.network.transport.Transport` would, so zero-fault runs
+are value-identical to runs without any injector at all.
+
+The companion :class:`RetryPolicy` captures the sender-side reaction —
+bounded retransmission with exponential backoff after a timeout — used by
+:class:`~repro.core.cloud.CacheCloud` whenever an injector is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.network.bandwidth import TrafficCategory
+
+
+def _link_key(a: int, b: int) -> Tuple[int, int]:
+    """Canonical undirected link key."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + bounded retransmission with exponential backoff.
+
+    ``max_attempts`` counts transmissions, not retries: 3 attempts means the
+    original send plus up to two retransmissions. Every lost attempt costs
+    ``timeout_minutes`` of sender-perceived latency; retransmission ``k``
+    (0-based) additionally waits ``backoff_base_minutes * backoff_factor**k``
+    before going out.
+    """
+
+    max_attempts: int = 3
+    timeout_minutes: float = 0.5
+    backoff_base_minutes: float = 0.25
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout_minutes < 0:
+            raise ValueError("timeout_minutes must be >= 0")
+        if self.backoff_base_minutes < 0:
+            raise ValueError("backoff_base_minutes must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_minutes(self, retry_index: int) -> float:
+        """Backoff wait before 0-based retransmission ``retry_index``."""
+        return self.backoff_base_minutes * self.backoff_factor**retry_index
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of message-level faults.
+
+    Parameters
+    ----------
+    seed:
+        Root of the injector's RNG stream. Two runs with equal plans (and
+        equal protocol behaviour) see identical fault sequences.
+    loss_rate / duplicate_rate / delay_rate:
+        Plan-wide per-message probabilities in ``[0, 1]``.
+    delay_minutes:
+        Extra one-way latency added to a delayed message.
+    category_loss:
+        ``(category_value, rate)`` overrides keyed by
+        :attr:`TrafficCategory.value` (strings keep the plan picklable and
+        hashable).
+    link_loss:
+        ``(node_a, node_b, rate)`` overrides for specific undirected links;
+        the most specific override wins.
+    partitioned_links:
+        Undirected ``(node_a, node_b)`` pairs that drop *every* message.
+    retry:
+        Sender-side :class:`RetryPolicy` applied by the cloud protocols.
+    """
+
+    seed: int = 0
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_minutes: float = 0.0
+    category_loss: Tuple[Tuple[str, float], ...] = ()
+    link_loss: Tuple[Tuple[int, int, float], ...] = ()
+    partitioned_links: Tuple[Tuple[int, int], ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate", "delay_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_minutes < 0:
+            raise ValueError("delay_minutes must be >= 0")
+        known = {category.value for category in TrafficCategory}
+        for category, rate in self.category_loss:
+            if category not in known:
+                raise ValueError(f"unknown traffic category {category!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"loss rate for {category} must be in [0, 1]")
+        for a, b, rate in self.link_loss:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"loss rate for link ({a}, {b}) must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Queries (small tuples; linear scans are cheaper than dict rebuilds)
+    # ------------------------------------------------------------------
+    def is_partitioned(self, src: int, dst: int) -> bool:
+        """Whether the undirected ``src``-``dst`` link is partitioned."""
+        key = _link_key(src, dst)
+        for a, b in self.partitioned_links:
+            if _link_key(a, b) == key:
+                return True
+        return False
+
+    def loss_for(self, category: TrafficCategory, src: int, dst: int) -> float:
+        """Effective loss rate: link override > category override > default."""
+        key = _link_key(src, dst)
+        for a, b, rate in self.link_loss:
+            if _link_key(a, b) == key:
+                return rate
+        for name, rate in self.category_loss:
+            if name == category.value:
+                return rate
+        return self.loss_rate
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this plan can produce any fault at all."""
+        return bool(
+            self.loss_rate > 0.0
+            or self.duplicate_rate > 0.0
+            or self.delay_rate > 0.0
+            or any(rate > 0.0 for _, rate in self.category_loss)
+            or any(rate > 0.0 for _, _, rate in self.link_loss)
+            or self.partitioned_links
+        )
+
+
+#: The explicit "perfect network" plan — pass-through, zero RNG draws.
+NO_FAULTS = FaultPlan()

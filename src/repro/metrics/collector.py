@@ -14,6 +14,11 @@ Sampled metrics (per window, not cumulative):
 * ``cloud_hit_rate`` — fraction of the window's requests served in-cloud.
 * ``network_mb`` — MB transferred during the window.
 * ``docs_stored`` — resident documents across all caches (gauge).
+
+When the monitored cloud has a fault injector attached, four windowed
+fault series are added: ``retries``, ``timeouts``, ``messages_dropped``,
+and ``stale_refreshes`` — the time-resolved view of how hard the retry and
+repair machinery is working.
 """
 
 from __future__ import annotations
@@ -35,6 +40,14 @@ _METRICS = (
     "docs_stored",
 )
 
+#: Extra windowed series sampled only when the cloud has faults attached.
+_FAULT_METRICS = (
+    "retries",
+    "timeouts",
+    "messages_dropped",
+    "stale_refreshes",
+)
+
 
 class CloudMonitor:
     """Samples windowed cloud statistics on a fixed period."""
@@ -44,12 +57,17 @@ class CloudMonitor:
             raise ValueError(f"period must be > 0, got {period}")
         self.cloud = cloud
         self.period = period
+        names = list(_METRICS)
+        self._track_faults = getattr(cloud, "faults", None) is not None
+        if self._track_faults:
+            names.extend(_FAULT_METRICS)
         self.series: Dict[str, TimeSeries] = {
-            name: TimeSeries(name) for name in _METRICS
+            name: TimeSeries(name) for name in names
         }
         self._last_loads: Dict[int, float] = {}
         self._last_bytes = 0
         self._last_stats = CacheStats()
+        self._last_faults: Dict[str, float] = {}
         self._process = PeriodicProcess(
             simulator,
             period,
@@ -79,6 +97,17 @@ class CloudMonitor:
         self._last_loads = dict(self.cloud.beacon_loads())
         self._last_bytes = self.cloud.transport.meter.total_bytes
         self._last_stats = self._aggregate()
+        if self._track_faults:
+            self._last_faults = self._fault_snapshot()
+
+    def _fault_snapshot(self) -> Dict[str, float]:
+        cloud = self.cloud
+        return {
+            "retries": float(cloud.retries),
+            "timeouts": float(cloud.timeouts),
+            "messages_dropped": float(cloud.faults.stats.dropped),
+            "stale_refreshes": float(cloud.stale_refreshes),
+        }
 
     def _aggregate(self) -> CacheStats:
         total = CacheStats()
@@ -120,6 +149,14 @@ class CloudMonitor:
 
         resident = sum(len(cache.storage) for cache in self.cloud.caches)
         self.series["docs_stored"].append(now, float(resident))
+
+        if self._track_faults:
+            snapshot = self._fault_snapshot()
+            for name in _FAULT_METRICS:
+                self.series[name].append(
+                    now, snapshot[name] - self._last_faults.get(name, 0.0)
+                )
+            self._last_faults = snapshot
 
     def __repr__(self) -> str:
         return f"CloudMonitor(period={self.period}, samples={self.samples})"

@@ -184,3 +184,86 @@ class TestLazySyncCounters:
         victim = resilient_cloud.assigner.rings[0].members[0]
         resilient_cloud.fail_cache(victim, now=6.0)
         assert resilient_cloud.failure_manager.failovers == 1
+
+
+class TestOverlappingFailures:
+    """Replicas are physical: they live at the buddy and die with it."""
+
+    @pytest.fixture
+    def wide_cloud(self, small_corpus):
+        # 6 caches / 2 rings -> 3 members per ring: two members of the
+        # same ring can fail while the ring stays serviceable.
+        return make_cloud(
+            small_corpus, num_caches=6, num_rings=2, failure_resilience=True
+        )
+
+    def populate(self, cloud):
+        for doc in range(30):
+            cloud.handle_request(doc % len(cloud.caches), doc, now=float(doc) * 0.1)
+        cloud.run_cycle(now=5.0)  # lazy replica sync
+
+    def test_buddy_crash_destroys_hosted_replicas(self, wide_cloud):
+        self.populate(wide_cloud)
+        manager = wide_cloud.failure_manager
+        ring = wide_cloud.assigner.rings[0]
+        victim = ring.members[0]
+        buddy = manager.buddy_of(victim)
+        wide_cloud.fail_cache(buddy, now=6.0)
+        # The buddy held the victim's replica; the victim's entry is gone.
+        assert victim not in manager._replicas
+        assert manager.replicas_lost >= 1
+
+    def test_victim_failing_after_buddy_installs_nothing(self, wide_cloud):
+        self.populate(wide_cloud)
+        manager = wide_cloud.failure_manager
+        ring = wide_cloud.assigner.rings[0]
+        victim = ring.members[0]
+        buddy = manager.buddy_of(victim)
+        wide_cloud.fail_cache(buddy, now=6.0)
+        installed_before = manager.stale_entries_installed
+        wide_cloud.fail_cache(victim, now=7.0)
+        # No replica survived the buddy crash, so the absorber gets nothing.
+        assert manager.stale_entries_installed == installed_before
+
+    def test_two_failures_same_ring_still_serves(self, wide_cloud):
+        self.populate(wide_cloud)
+        ring = wide_cloud.assigner.rings[0]
+        first, second = ring.members[0], ring.members[1]
+        wide_cloud.fail_cache(first, now=6.0)
+        wide_cloud.fail_cache(second, now=7.0)
+        assert len(ring.members) == 1
+        live = next(c.cache_id for c in wide_cloud.caches if c.alive)
+        for doc in range(10):
+            result = wide_cloud.handle_request(live, doc, now=8.0 + doc)
+            assert result is not None
+
+    def test_last_ring_member_refuses_to_fail(self, wide_cloud):
+        self.populate(wide_cloud)
+        ring = wide_cloud.assigner.rings[0]
+        first, second = ring.members[0], ring.members[1]
+        wide_cloud.fail_cache(first, now=6.0)
+        wide_cloud.fail_cache(second, now=7.0)
+        survivor = ring.members[0]
+        with pytest.raises(ValueError):
+            wide_cloud.fail_cache(survivor, now=8.0)
+        # The refusal must not have mutated anything.
+        assert wide_cloud.caches[survivor].alive
+        assert survivor in ring.members
+
+    def test_failure_during_recovery_window(self, wide_cloud):
+        """A second member fails before the first one's replica re-syncs."""
+        self.populate(wide_cloud)
+        manager = wide_cloud.failure_manager
+        ring = wide_cloud.assigner.rings[0]
+        first = ring.members[0]
+        wide_cloud.fail_cache(first, now=6.0)
+        wide_cloud.recover_cache(first, now=7.0)
+        # No sync has run since recovery: the recovered node has no fresh
+        # replica, so a failure now must fall back to an empty install.
+        assert first not in manager._replicas
+        installed_before = manager.stale_entries_installed
+        wide_cloud.fail_cache(first, now=8.0)
+        assert manager.stale_entries_installed == installed_before
+        for doc in range(10):
+            requester = next(c.cache_id for c in wide_cloud.caches if c.alive)
+            assert wide_cloud.handle_request(requester, doc, now=9.0 + doc)

@@ -11,6 +11,7 @@ from repro.experiments import parallel
 from repro.experiments.parallel import (
     JOBS_ENV_VAR,
     ExperimentSpec,
+    FailedRun,
     WorkloadSpec,
     derive_seed,
     resolve_jobs,
@@ -188,3 +189,54 @@ class TestRunSweep:
         )
         expected.unique_request_docs = len(trace.request_counts_by_doc())
         assert run_spec(spec) == expected.detached()
+
+
+def _always_boom(spec):
+    """Module-level (picklable) runner that fails every time."""
+    raise RuntimeError(f"boom:{spec.key}")
+
+
+def _boom_for_b(spec):
+    """Module-level runner that fails only for the spec keyed 'b'."""
+    if spec.key == "b":
+        raise ValueError("b is cursed")
+    return spec.key
+
+
+class TestSweepHardening:
+    def test_persistent_failure_yields_failed_run(self):
+        results = run_sweep([zipf_spec(key="x")], jobs=1, runner=_always_boom)
+        (failed,) = results
+        assert isinstance(failed, FailedRun)
+        assert failed.key == "x"
+        assert failed.error_type == "RuntimeError"
+        assert "boom:x" in failed.error
+
+    def test_failure_does_not_poison_other_slots(self):
+        specs = [zipf_spec(key=k) for k in ("a", "b", "c")]
+        results = run_sweep(specs, jobs=1, runner=_boom_for_b)
+        assert results[0] == "a"
+        assert isinstance(results[1], FailedRun)
+        assert results[1].key == "b"
+        assert results[2] == "c"
+
+    def test_transient_failure_recovers_on_serial_retry(self):
+        calls = {"n": 0}
+
+        def flaky(spec):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return spec.key
+
+        results = run_sweep([zipf_spec(key="x")], jobs=1, runner=flaky)
+        assert results == ["x"]
+        assert calls["n"] == 2
+
+    def test_parallel_failures_land_in_spec_order(self):
+        specs = [zipf_spec(key=k) for k in ("a", "b", "c")]
+        results = run_sweep(specs, jobs=2, runner=_boom_for_b)
+        assert results[0] == "a"
+        assert isinstance(results[1], FailedRun)
+        assert results[1].error_type == "ValueError"
+        assert results[2] == "c"

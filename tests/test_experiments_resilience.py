@@ -1,0 +1,69 @@
+"""Integration tests for the resilience sweep (loss × churn grid)."""
+
+import pytest
+
+from repro.experiments.figures import TINY_SCALE
+from repro.experiments.reporting import fingerprint
+from repro.experiments.resilience import resilience_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """One tiny sweep shared by the module (the runs dominate test time)."""
+    return resilience_sweep(
+        scale=TINY_SCALE, loss_rates=(0.0, 0.5, 0.9), churn_rates=(0.0,)
+    )
+
+
+class TestResilienceSweep:
+    def test_no_failed_points(self, sweep):
+        assert sweep.failures == []
+        assert len(sweep.rows) == 3
+
+    def test_hit_rate_degrades_monotonically_with_loss(self, sweep):
+        rates = [sweep.hit_rate(loss, 0.0) for loss in (0.0, 0.5, 0.9)]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_origin_load_grows_with_loss(self, sweep):
+        fetches = [sweep.row(loss, 0.0)[3] for loss in (0.0, 0.5, 0.9)]
+        assert fetches[0] < fetches[1] < fetches[2]
+
+    def test_perfect_network_row_is_clean(self, sweep):
+        row = sweep.row(0.0, 0.0)
+        columns = dict(zip(sweep.columns, row))
+        assert columns["retries"] == 0.0
+        assert columns["timeouts"] == 0.0
+        assert columns["failovers"] == 0.0
+        assert columns["unavailable (min)"] == 0.0
+
+    def test_lossy_rows_show_protocol_work(self, sweep):
+        row = dict(zip(sweep.columns, sweep.row(0.9, 0.0)))
+        assert row["retries"] > 0.0
+        assert row["timeouts"] > 0.0
+
+    def test_render_contains_grid(self, sweep):
+        rendered = sweep.render()
+        assert "Resilience" in rendered
+        assert "cloud hit rate (%)" in rendered
+
+
+class TestSweepDeterminism:
+    def test_serial_and_parallel_fingerprints_match(self):
+        serial = resilience_sweep(
+            scale=TINY_SCALE, loss_rates=(0.0, 0.5), churn_rates=(0.0,), jobs=1
+        )
+        parallel = resilience_sweep(
+            scale=TINY_SCALE, loss_rates=(0.0, 0.5), churn_rates=(0.0,), jobs=2
+        )
+        assert fingerprint(serial) == fingerprint(parallel)
+
+
+class TestChurnColumn:
+    def test_churn_produces_failovers_and_unavailability(self):
+        sweep = resilience_sweep(
+            scale=TINY_SCALE, loss_rates=(0.0,), churn_rates=(0.1,)
+        )
+        assert sweep.failures == []
+        row = dict(zip(sweep.columns, sweep.row(0.0, 0.1)))
+        assert row["failovers"] > 0.0
+        assert row["unavailable (min)"] > 0.0
