@@ -1,0 +1,305 @@
+"""Chaos-audit harness: break a cloud on purpose, repair it, prove it.
+
+Each :class:`ChaosScenario` runs one seeded fault campaign — uniform
+message loss plus Poisson churn — against a dynamic cache cloud, then
+*quiesces* it:
+
+1. detach the fault injector (the network heals),
+2. recover every still-dead cache through the failure manager,
+3. drive the anti-entropy process to convergence (exhaustive sweeps until
+   one makes no repair),
+4. audit every invariant with :class:`~repro.audit.invariants.InvariantAuditor`.
+
+The acceptance bar is sharp: with anti-entropy, the post-quiesce audit
+must report **zero** repairable violations; with anti-entropy disabled the
+same grid must leave visible divergence (stale holders that nothing ever
+repaired) — otherwise the harness is vacuous.
+
+Scenarios are plain frozen dataclasses executed by the module-level
+:func:`run_chaos_scenario`, so :func:`chaos_audit_grid` parallelizes over
+the existing :func:`~repro.experiments.parallel.run_sweep` machinery and
+is value-identical at any job count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.audit.antientropy import AntiEntropyConfig
+from repro.audit.invariants import AuditReport, InvariantAuditor
+from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.experiments.parallel import (
+    FailedRun,
+    WorkloadSpec,
+    derive_seed,
+    run_sweep,
+)
+from repro.faults.churn import ChurnSpec
+from repro.faults.plan import FaultPlan
+from repro.metrics.report import Table, format_figure_header
+from repro.workload.generator import WorkloadConfig
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One seeded fault campaign plus its quiesce-and-audit epilogue."""
+
+    key: object
+    seed: int
+    loss_rate: float
+    churn_rate: float
+    anti_entropy: bool = True
+    duration_minutes: float = 60.0
+    num_caches: int = 8
+    num_rings: int = 4
+    num_documents: int = 200
+    intra_gen: int = 400
+    request_rate_per_cache: float = 30.0
+    update_rate: float = 45.0
+    cycle_length: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.churn_rate < 0.0:
+            raise ValueError("churn_rate must be >= 0")
+        if self.duration_minutes <= 0:
+            raise ValueError("duration_minutes must be > 0")
+
+
+@dataclass
+class ChaosOutcome:
+    """Picklable result of one scenario (what workers ship back)."""
+
+    key: object
+    anti_entropy: bool
+    #: Audit summaries before and after the anti-entropy quiesce.
+    pre_audit: Dict[str, float] = field(default_factory=dict)
+    post_audit: Dict[str, float] = field(default_factory=dict)
+    #: Divergence found right after the run (stale + dangling + orphaned).
+    pre_divergence: int = 0
+    #: Repairable violations still present after quiescing.
+    unrepaired: int = 0
+    #: Hard (never-acceptable) violations after quiescing.
+    hard_violations: int = 0
+    pre_stale: int = 0
+    post_stale: int = 0
+    quiesce_repairs: int = 0
+    ae_stats: Dict[str, float] = field(default_factory=dict)
+    resilience: Dict[str, float] = field(default_factory=dict)
+
+
+def _chaos_cloud_config(scenario: ChaosScenario) -> CloudConfig:
+    return CloudConfig(
+        num_caches=scenario.num_caches,
+        num_rings=scenario.num_rings,
+        intra_gen=scenario.intra_gen,
+        cycle_length=scenario.cycle_length,
+        assignment=AssignmentScheme.DYNAMIC,
+        placement=PlacementScheme.AD_HOC,
+        failure_resilience=True,
+        seed=scenario.seed,
+    )
+
+
+def _chaos_workload(scenario: ChaosScenario) -> WorkloadSpec:
+    return WorkloadSpec(
+        generator_config=WorkloadConfig(
+            num_documents=scenario.num_documents,
+            num_caches=scenario.num_caches,
+            request_rate_per_cache=scenario.request_rate_per_cache,
+            update_rate=scenario.update_rate,
+            alpha_requests=0.9,
+            duration_minutes=scenario.duration_minutes,
+            seed=scenario.seed,
+        ),
+        corpus_documents=scenario.num_documents,
+        corpus_seed=scenario.seed,
+    )
+
+
+def _divergence(report: AuditReport) -> int:
+    return report.repairable
+
+
+def run_chaos_scenario(scenario: ChaosScenario) -> ChaosOutcome:
+    """Run one scenario end to end; must stay module-level picklable."""
+    from repro.experiments.runner import run_experiment
+
+    config = _chaos_cloud_config(scenario)
+    corpus, trace = _chaos_workload(scenario).materialize()
+    churn = None
+    if scenario.churn_rate > 0.0:
+        churn = ChurnSpec(
+            duration_minutes=scenario.duration_minutes,
+            failure_rate_per_minute=scenario.churn_rate,
+            mean_downtime_minutes=2.0 * scenario.cycle_length,
+            start_minutes=min(scenario.cycle_length, scenario.duration_minutes / 4.0),
+            seed=derive_seed(scenario.seed, "chaos-churn", scenario.churn_rate),
+        )
+    result = run_experiment(
+        config,
+        corpus,
+        trace.requests,
+        trace.updates,
+        duration=scenario.duration_minutes,
+        warmup=min(scenario.cycle_length, scenario.duration_minutes / 4.0),
+        fault_plan=FaultPlan(
+            seed=derive_seed(scenario.seed, "chaos-loss", scenario.loss_rate),
+            loss_rate=scenario.loss_rate,
+        ),
+        churn=churn,
+        anti_entropy=AntiEntropyConfig() if scenario.anti_entropy else None,
+    )
+
+    # --- quiesce: heal the network, rejoin everyone, repair, audit -----
+    cloud = result.cloud
+    end = scenario.duration_minutes
+    cloud.detach_faults()
+    for cache in cloud.caches:
+        if not cache.alive:
+            cloud.recover_cache(cache.cache_id, end)
+    auditor = InvariantAuditor()
+    pre = auditor.audit(cloud)
+    repairs = 0
+    if cloud.anti_entropy is not None:
+        repairs = cloud.anti_entropy.quiesce(end)
+    post = auditor.audit(cloud)
+
+    return ChaosOutcome(
+        key=scenario.key,
+        anti_entropy=scenario.anti_entropy,
+        pre_audit=pre.summary(),
+        post_audit=post.summary(),
+        pre_divergence=_divergence(pre),
+        unrepaired=_divergence(post),
+        hard_violations=post.hard_violations,
+        pre_stale=pre.stale_copies,
+        post_stale=post.stale_copies,
+        quiesce_repairs=repairs,
+        ae_stats=(
+            cloud.anti_entropy.stats.as_dict()
+            if cloud.anti_entropy is not None
+            else {}
+        ),
+        resilience=result.resilience,
+    )
+
+
+@dataclass
+class ChaosGridResult:
+    """Outcomes over a (seed × loss × churn) chaos grid."""
+
+    anti_entropy: bool = True
+    outcomes: List[ChaosOutcome] = field(default_factory=list)
+    failures: List[FailedRun] = field(default_factory=list)
+
+    @property
+    def total_pre_divergence(self) -> int:
+        """Divergence the campaigns injected, summed over the grid."""
+        return sum(outcome.pre_divergence for outcome in self.outcomes)
+
+    @property
+    def total_unrepaired(self) -> int:
+        """Repairable violations left after quiescing, summed over the grid."""
+        return sum(outcome.unrepaired for outcome in self.outcomes)
+
+    @property
+    def total_hard_violations(self) -> int:
+        """Hard violations anywhere in the grid (must always be zero)."""
+        return sum(outcome.hard_violations for outcome in self.outcomes)
+
+    @property
+    def total_post_stale(self) -> int:
+        """Stale holders left after quiescing, summed over the grid."""
+        return sum(outcome.post_stale for outcome in self.outcomes)
+
+    @property
+    def clean(self) -> bool:
+        """Whether every scenario quiesced to a violation-free cloud."""
+        return (
+            not self.failures
+            and self.total_unrepaired == 0
+            and self.total_hard_violations == 0
+        )
+
+    def render(self) -> str:
+        table = Table(
+            [
+                "seed",
+                "loss rate",
+                "churn/min",
+                "pre divergence",
+                "pre stale",
+                "repairs",
+                "unrepaired",
+                "post stale",
+                "hard",
+            ],
+            precision=2,
+        )
+        for outcome in self.outcomes:
+            seed, loss_rate, churn_rate = outcome.key
+            table.add_row(
+                seed,
+                loss_rate,
+                churn_rate,
+                outcome.pre_divergence,
+                outcome.pre_stale,
+                outcome.quiesce_repairs,
+                outcome.unrepaired,
+                outcome.post_stale,
+                outcome.hard_violations,
+            )
+        mode = "on" if self.anti_entropy else "OFF"
+        lines = [
+            format_figure_header(
+                "Chaos audit",
+                f"fault+churn campaigns, quiesced and audited (anti-entropy {mode})",
+            ),
+            table.render(),
+        ]
+        for failed in self.failures:
+            lines.append(f"FAILED {failed.key}: {failed.error_type}: {failed.error}")
+        verdict = "CLEAN" if self.clean else (
+            f"unrepaired={self.total_unrepaired} hard={self.total_hard_violations}"
+        )
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def chaos_audit_grid(
+    seeds: Sequence[int] = (1, 2),
+    loss_rates: Sequence[float] = (0.15, 0.3),
+    churn_rates: Sequence[float] = (0.0, 0.1),
+    anti_entropy: bool = True,
+    jobs: Optional[int] = None,
+    scenario_overrides: Optional[Dict[str, object]] = None,
+) -> ChaosGridResult:
+    """Run the chaos grid; one scenario per (seed, loss, churn) point.
+
+    ``scenario_overrides`` tweaks every scenario's sizing fields (e.g.
+    ``{"duration_minutes": 30.0}`` for faster test runs).
+    """
+    overrides = scenario_overrides or {}
+    scenarios = [
+        ChaosScenario(
+            key=(seed, loss_rate, churn_rate),
+            seed=seed,
+            loss_rate=loss_rate,
+            churn_rate=churn_rate,
+            anti_entropy=anti_entropy,
+            **overrides,
+        )
+        for seed in seeds
+        for loss_rate in loss_rates
+        for churn_rate in churn_rates
+    ]
+    result = ChaosGridResult(anti_entropy=anti_entropy)
+    for outcome in run_sweep(scenarios, jobs=jobs, runner=run_chaos_scenario):
+        if isinstance(outcome, FailedRun):
+            result.failures.append(outcome)
+        else:
+            result.outcomes.append(outcome)
+    return result

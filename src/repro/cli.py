@@ -9,6 +9,7 @@ Usage::
     python -m repro trace --documents 500 --duration 30 --out trace.txt
     python -m repro run --caches 10 --rings 5 --placement utility
     python -m repro resilience --scale tiny --loss 0 0.2 0.5 --churn 0 0.05
+    python -m repro audit --seeds 1 2 --loss 0.15 0.3 --churn 0 0.1
     python -m repro compare old.json new.json --tolerance 0.1
 
 Every subcommand prints the same tables the benchmark harness produces, so
@@ -162,8 +163,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--churn", type=float, nargs="+", default=[0.0],
         help="cloud-wide cache failure rates per minute to sweep",
     )
+    res.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scale's seed (re-derives workload/fault/churn streams)",
+    )
     res.add_argument("--out", help="archive the sweep result to this JSON file")
     res.add_argument(
+        "--fingerprint", action="store_true",
+        help="print a SHA-256 fingerprint of the result (determinism checks)",
+    )
+
+    aud = subparsers.add_parser(
+        "audit",
+        help="chaos-audit: seeded fault+churn campaigns, quiesced, "
+        "anti-entropy-repaired, and checked against every invariant",
+    )
+    _add_jobs(aud)
+    aud.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2],
+        help="scenario seeds (one grid per seed)",
+    )
+    aud.add_argument(
+        "--loss", type=float, nargs="+", default=[0.15, 0.3],
+        help="message loss rates to sweep (space-separated, in [0, 1))",
+    )
+    aud.add_argument(
+        "--churn", type=float, nargs="+", default=[0.0, 0.1],
+        help="cloud-wide cache failure rates per minute to sweep",
+    )
+    aud.add_argument(
+        "--duration", type=float, default=60.0,
+        help="simulated minutes per scenario",
+    )
+    aud.add_argument(
+        "--no-anti-entropy", action="store_true",
+        help="run the grid without background repair (divergence baseline; "
+        "unrepaired violations are reported, not failed on)",
+    )
+    aud.add_argument("--out", help="archive the grid result to this JSON file")
+    aud.add_argument(
         "--fingerprint", action="store_true",
         help="print a SHA-256 fingerprint of the result (determinism checks)",
     )
@@ -283,6 +321,7 @@ def _cmd_resilience(args) -> int:
         loss_rates=tuple(args.loss),
         churn_rates=tuple(args.churn),
         jobs=args.jobs,
+        seed=args.seed,
     )
     print(result.render())
     if args.out:
@@ -291,6 +330,32 @@ def _cmd_resilience(args) -> int:
     if args.fingerprint:
         print(f"fingerprint: {fingerprint(result)}")
     return 1 if result.failures else 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.audit.chaos import chaos_audit_grid
+    from repro.experiments.reporting import fingerprint, save_result
+
+    result = chaos_audit_grid(
+        seeds=tuple(args.seeds),
+        loss_rates=tuple(args.loss),
+        churn_rates=tuple(args.churn),
+        anti_entropy=not args.no_anti_entropy,
+        jobs=args.jobs,
+        scenario_overrides={"duration_minutes": args.duration},
+    )
+    print(result.render())
+    if args.out:
+        save_result(result, args.out, "chaos-audit")
+        print(f"archived to {args.out}")
+    if args.fingerprint:
+        print(f"fingerprint: {fingerprint(result)}")
+    if result.failures or result.total_hard_violations:
+        return 1
+    # With repair enabled the bar is absolute: everything must converge.
+    if not args.no_anti_entropy and result.total_unrepaired:
+        return 1
+    return 0
 
 
 def _cmd_compare(args) -> int:
@@ -316,6 +381,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "run": _cmd_run,
     "resilience": _cmd_resilience,
+    "audit": _cmd_audit,
     "compare": _cmd_compare,
 }
 

@@ -173,6 +173,14 @@ class CacheCloud:
         self.eviction_notices_lost = 0
         self.requests_redirected = 0
 
+        # Background repair (repro.audit). ``None`` until attached; an
+        # attached-but-disabled process is a strict no-op, so fault-free
+        # runs stay value-identical either way.
+        self.anti_entropy = None
+        #: doc_id -> time of its latest origin update, for staleness-age
+        #: metrics. Pure bookkeeping; never read by any protocol.
+        self.last_update_times: Dict[int, float] = {}
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -203,6 +211,31 @@ class CacheCloud:
         if injector.transport is not self.transport:
             raise ValueError("fault injector must wrap the cloud's transport")
         self.faults = injector
+
+    def detach_faults(self) -> None:
+        """Restore fault-free messaging (e.g. for post-run quiescing).
+
+        The injector's accumulated statistics survive on the detached
+        object; only future messages bypass it.
+        """
+        self.faults = None
+
+    def attach_anti_entropy(self, config=None, simulator: Optional[Simulator] = None):
+        """Attach (and optionally schedule) the anti-entropy repair process.
+
+        Returns the :class:`~repro.audit.antientropy.AntiEntropyProcess`.
+        With a ``simulator``, the periodic sweep is armed immediately;
+        without one, drive repairs manually via ``run_cycle``/``quiesce``.
+        """
+        from repro.audit.antientropy import AntiEntropyProcess
+
+        if self.anti_entropy is not None:
+            return self.anti_entropy
+        process = AntiEntropyProcess(self, config)
+        self.anti_entropy = process
+        if simulator is not None:
+            process.start(simulator)
+        return process
 
     # ------------------------------------------------------------------
     # Document mapping helpers
@@ -805,6 +838,7 @@ class CacheCloud:
             tracker = DecayingRate(self.config.half_life)
             self._update_rates[doc_id] = tracker
         tracker.observe(now)
+        self.last_update_times[doc_id] = now
         size = self.corpus[doc_id].size_bytes
 
         if not self.config.cooperation:
@@ -1069,6 +1103,8 @@ class CacheCloud:
         }
         if self.faults is not None and self.faults.plan.enabled:
             summary.update(self.faults.stats.as_dict())
+        if self.anti_entropy is not None and self.anti_entropy.config.enabled:
+            summary.update(self.anti_entropy.stats.as_dict())
         if self.failure_manager is not None:
             summary["failovers"] = float(self.failure_manager.failovers)
             summary["recoveries"] = float(self.failure_manager.recoveries)

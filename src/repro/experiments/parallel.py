@@ -34,7 +34,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.core.config import CloudConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
@@ -44,6 +44,9 @@ from repro.workload.documents import Corpus, build_corpus, seed_corpus_rng
 from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
 from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
 from repro.workload.trace import Trace
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.audit.antientropy import AntiEntropyConfig
 
 logger = logging.getLogger(__name__)
 
@@ -122,6 +125,10 @@ class ExperimentSpec:
     fault_plan: Optional[FaultPlan] = None
     #: Optional churn timeline recipe (requires failure_resilience=True).
     churn: Optional[ChurnSpec] = None
+    #: Optional anti-entropy repair configuration (frozen, picklable).
+    anti_entropy: Optional["AntiEntropyConfig"] = None
+    #: Run the invariant auditor at the end and fill ``result.audit``.
+    audit: bool = False
 
 
 @dataclass
@@ -154,6 +161,8 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         warmup=spec.warmup,
         fault_plan=spec.fault_plan,
         churn=spec.churn,
+        anti_entropy=spec.anti_entropy,
+        audit=spec.audit,
     )
     result.unique_request_docs = len(trace.request_counts_by_doc())
     return result.detached()

@@ -16,9 +16,10 @@ are seeded, so the sweep is value-identical at any ``--jobs`` count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
+from repro.audit.antientropy import AntiEntropyConfig
 from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
 from repro.experiments.figures import FigureScale, SMALL_SCALE, _zipf_workload
 from repro.experiments.parallel import (
@@ -30,6 +31,7 @@ from repro.experiments.parallel import (
 from repro.faults.churn import ChurnSpec
 from repro.faults.plan import FaultPlan
 from repro.metrics.report import Table, format_figure_header
+from repro.network.bandwidth import TrafficCategory
 
 
 @dataclass
@@ -85,14 +87,18 @@ def resilience_sweep(
     loss_rates: Sequence[float] = (0.0, 0.05, 0.2, 0.5),
     churn_rates: Sequence[float] = (0.0, 0.05),
     jobs: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> ResilienceSweepResult:
     """Run the (loss × churn) grid; returns one table row per point.
 
     Every point uses the dynamic assignment scheme with failure resilience
     enabled — churn events must flow through the failure manager — and the
     same Zipf workload, so the only variable across rows is the fault
-    regime.
+    regime. ``seed`` overrides the scale's seed, re-deriving the workload,
+    fault, and churn streams from the new root.
     """
+    if seed is not None:
+        scale = replace(scale, seed=seed)
     config = CloudConfig(
         num_caches=10,
         num_rings=5,
@@ -155,4 +161,140 @@ def resilience_sweep(
                 resilience.get("unavailability_minutes", 0.0),
             )
         )
+    return result
+
+
+@dataclass
+class AntiEntropySweepResult:
+    """Paired (repair off / repair on) rows over the (loss × churn) grid."""
+
+    columns: Tuple[str, ...] = (
+        "loss rate",
+        "churn/min",
+        "stale (off)",
+        "stale (on)",
+        "stale reduction (%)",
+        "repairs",
+        "repair traffic (MB)",
+    )
+    rows: List[Tuple] = field(default_factory=list)
+    failures: List[FailedRun] = field(default_factory=list)
+
+    def row(self, loss_rate: float, churn_rate: float) -> Tuple:
+        """The row for the ``(loss_rate, churn_rate)`` sweep point."""
+        for row in self.rows:
+            if row[0] == loss_rate and row[1] == churn_rate:
+                return row
+        raise KeyError((loss_rate, churn_rate))
+
+    def render(self) -> str:
+        table = Table(list(self.columns), precision=2)
+        for row in self.rows:
+            table.add_row(*row)
+        lines = [
+            format_figure_header(
+                "Anti-entropy",
+                "end-of-run staleness with background repair off vs on",
+            ),
+            table.render(),
+        ]
+        for failed in self.failures:
+            lines.append(
+                f"FAILED {failed.key}: {failed.error_type}: {failed.error}"
+            )
+        return "\n".join(lines)
+
+
+def anti_entropy_sweep(
+    scale: FigureScale = SMALL_SCALE,
+    loss_rates: Sequence[float] = (0.1, 0.3),
+    churn_rates: Sequence[float] = (0.0, 0.05),
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> AntiEntropySweepResult:
+    """Measure what background repair buys under faults, and what it costs.
+
+    Every (loss × churn) grid point runs twice on identical seeds — once
+    without the anti-entropy process and once with it — and both runs end
+    with an invariant audit. The interesting columns are the end-of-run
+    stale-holder counts (the divergence nothing repaired during the run)
+    and the repair traffic that bought the reduction.
+    """
+    if seed is not None:
+        scale = replace(scale, seed=seed)
+    config = CloudConfig(
+        num_caches=10,
+        num_rings=5,
+        intra_gen=1000,
+        cycle_length=scale.cycle_length,
+        assignment=AssignmentScheme.DYNAMIC,
+        placement=PlacementScheme.AD_HOC,
+        failure_resilience=True,
+        seed=scale.seed,
+    )
+    workload = _zipf_workload(scale, config.num_caches)
+    duration = scale.duration_minutes
+    specs = []
+    for loss_rate in loss_rates:
+        for churn_rate in churn_rates:
+            churn = None
+            if churn_rate > 0.0:
+                churn = ChurnSpec(
+                    duration_minutes=duration,
+                    failure_rate_per_minute=churn_rate,
+                    mean_downtime_minutes=2.0 * scale.cycle_length,
+                    start_minutes=min(scale.cycle_length, duration / 4.0),
+                    seed=derive_seed(scale.seed, "churn", churn_rate),
+                )
+            for repair in (False, True):
+                specs.append(
+                    ExperimentSpec(
+                        key=(loss_rate, churn_rate, repair),
+                        config=config,
+                        workload=workload,
+                        duration=duration,
+                        warmup=min(2.0 * config.cycle_length, duration / 2.0),
+                        fault_plan=FaultPlan(
+                            seed=derive_seed(scale.seed, "loss", loss_rate),
+                            loss_rate=loss_rate,
+                        ),
+                        churn=churn,
+                        anti_entropy=AntiEntropyConfig() if repair else None,
+                        audit=True,
+                    )
+                )
+
+    result = AntiEntropySweepResult()
+    by_key = {}
+    for spec, outcome in zip(specs, run_sweep(specs, jobs=jobs)):
+        if isinstance(outcome, FailedRun):
+            result.failures.append(outcome)
+            continue
+        by_key[spec.key] = outcome
+    for loss_rate in loss_rates:
+        for churn_rate in churn_rates:
+            off = by_key.get((loss_rate, churn_rate, False))
+            on = by_key.get((loss_rate, churn_rate, True))
+            if off is None or on is None:
+                continue  # the matching FailedRun is already recorded
+            stale_off = off.audit.get("audit_stale_copy", 0.0)
+            stale_on = on.audit.get("audit_stale_copy", 0.0)
+            reduction = (
+                100.0 * (stale_off - stale_on) / stale_off if stale_off else 0.0
+            )
+            repair_mb = (
+                on.traffic.bytes_for(TrafficCategory.ANTI_ENTROPY)
+                / (1024.0 * 1024.0)
+            )
+            result.rows.append(
+                (
+                    loss_rate,
+                    churn_rate,
+                    stale_off,
+                    stale_on,
+                    reduction,
+                    on.resilience.get("ae_repairs", 0.0),
+                    repair_mb,
+                )
+            )
     return result

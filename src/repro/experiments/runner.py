@@ -109,6 +109,8 @@ class ExperimentResult:
     unique_request_docs: int = 0
     #: Flat fault/churn/repair counter summary (all zero on a perfect run).
     resilience: Dict[str, float] = field(default_factory=dict)
+    #: End-of-run invariant audit summary (empty unless requested).
+    audit: Dict[str, float] = field(default_factory=dict)
 
     @property
     def measured_span(self) -> float:
@@ -139,6 +141,8 @@ def run_experiment(
     cloud: Optional[CacheCloud] = None,
     fault_plan: Optional[FaultPlan] = None,
     churn: Optional[ChurnSpec] = None,
+    anti_entropy=None,
+    audit: bool = False,
 ) -> ExperimentResult:
     """Run one trace-driven experiment.
 
@@ -167,6 +171,14 @@ def run_experiment(
     churn:
         Optional churn timeline; events fire as simulation events through
         the cloud's failure manager (requires ``failure_resilience=True``).
+    anti_entropy:
+        Optional :class:`~repro.audit.antientropy.AntiEntropyConfig`; when
+        given, the repair process is attached and (if enabled) scheduled,
+        and it sweeps after every applied churn recovery.
+    audit:
+        Run the invariant auditor at the end of the run and store its flat
+        summary in ``result.audit``. The audit is read-only and runs after
+        the last simulated event, so it never perturbs reported metrics.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -184,11 +196,17 @@ def run_experiment(
                 fault_plan,
                 cloud.transport,
                 seed=derive_seed(config.seed, f"faults:{fault_plan.seed}"),
+                clock=lambda: simulator.now,
             )
         )
+    ae_process = None
+    if anti_entropy is not None:
+        ae_process = cloud.attach_anti_entropy(anti_entropy, simulator)
     schedule: Optional[ChurnSchedule] = None
     if churn is not None:
         schedule = ChurnSchedule.from_spec(churn, config.num_caches)
+        if ae_process is not None:
+            schedule.add_hook(ae_process.on_churn_event)
         schedule.attach(cloud, simulator)
     cloud.attach_cycles(simulator)
     feeder = TraceFeeder(simulator, cloud, merge_streams(requests, updates))
@@ -196,7 +214,9 @@ def run_experiment(
 
     def _reset_counters() -> None:
         cloud.reset_beacon_totals()
-        cloud.transport.meter.reset()
+        # The meter and the attempt ledger must reset together, or the
+        # auditor's conservation check would flag the warm-up skew.
+        cloud.transport.reset_accounting()
         for cache in cloud.caches:
             cache.stats = CacheStats()
 
@@ -239,6 +259,10 @@ def run_experiment(
     result.resilience = cloud.resilience_summary()
     if schedule is not None:
         result.resilience.update(schedule.stats.as_dict())
+    if audit:
+        from repro.audit.invariants import InvariantAuditor
+
+        result.audit = InvariantAuditor().audit(cloud).summary()
     return result
 
 

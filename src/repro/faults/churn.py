@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.simulation.engine import Simulator
 from repro.simulation.events import EventPriority
@@ -152,6 +152,15 @@ class ChurnSchedule:
         )
         self.stats = ChurnStats()
         self._cursor = 0
+        #: End-of-event hooks, called as ``hook(cloud, event, applied, now)``
+        #: after every processed event (skipped ones included with
+        #: ``applied=False``). Lets repair machinery — e.g. the anti-entropy
+        #: process — react to membership changes the instant they land.
+        self._hooks: List[Callable] = []
+
+    def add_hook(self, hook: Callable) -> None:
+        """Register an end-of-event hook (``hook(cloud, event, applied, now)``)."""
+        self._hooks.append(hook)
 
     @classmethod
     def from_spec(cls, spec: ChurnSpec, num_caches: int) -> "ChurnSchedule":
@@ -196,6 +205,12 @@ class ChurnSchedule:
 
     def apply(self, cloud, event: ChurnEvent, now: float) -> bool:
         """Apply one event; returns False when it was skipped."""
+        applied = self._apply_inner(cloud, event, now)
+        for hook in self._hooks:
+            hook(cloud, event, applied, now)
+        return applied
+
+    def _apply_inner(self, cloud, event: ChurnEvent, now: float) -> bool:
         cache = cloud.caches[event.cache_id]
         if event.action == FAIL:
             if not cache.alive or self._is_last_live_ring_member(

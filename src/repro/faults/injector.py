@@ -23,7 +23,7 @@ parallel sweeps observe identical fault sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.faults.plan import FaultPlan
 from repro.network.bandwidth import TrafficCategory
@@ -45,6 +45,10 @@ class FaultStats:
     dropped: int = 0
     duplicated: int = 0
     delayed: int = 0
+    #: Bytes of every attempt charged to the meter through this injector
+    #: (drops and duplicates included) — the auditor's conservation check
+    #: cross-references this against the transport's attempt ledger.
+    bytes_attempted: int = 0
     #: Drops decomposed by traffic category (category value -> count).
     dropped_by_category: Dict[str, int] = field(default_factory=dict)
 
@@ -88,6 +92,11 @@ class FaultInjector:
     seed:
         Optional override of ``plan.seed`` (e.g. derived per experiment so
         sweep points stay independent).
+    clock:
+        Optional zero-argument callable returning the current simulated
+        time, consulted only to evaluate transient (healing) partitions.
+        Without a clock, time is pinned at 0.0 — transient partitions with
+        a positive heal time behave as permanent.
     """
 
     def __init__(
@@ -95,9 +104,11 @@ class FaultInjector:
         plan: FaultPlan,
         transport: Transport,
         seed: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.plan = plan
         self.transport = transport
+        self.clock = clock
         root = plan.seed if seed is None else seed
         self._rng = random.Random(derive_seed(root, "fault-injector"))
         self.stats = FaultStats()
@@ -120,7 +131,10 @@ class FaultInjector:
         """
         plan = self.plan
         latency = self.transport.send(src, dst, num_bytes, category)
-        if plan.is_partitioned(src, dst):
+        self.stats.bytes_attempted += num_bytes
+        if plan.partitioned_links and plan.is_partitioned(
+            src, dst, self.clock() if self.clock is not None else 0.0
+        ):
             self.stats.record_drop(category)
             return None
         loss = plan.loss_for(category, src, dst)
@@ -131,6 +145,7 @@ class FaultInjector:
             # The duplicate burns bandwidth; protocols are idempotent.
             self.transport.send(src, dst, num_bytes, category)
             self.stats.duplicated += 1
+            self.stats.bytes_attempted += num_bytes
         if plan.delay_rate > 0.0 and self._rng.random() < plan.delay_rate:
             self.stats.delayed += 1
             latency += plan.delay_minutes

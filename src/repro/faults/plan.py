@@ -23,9 +23,12 @@ bounded retransmission with exponential backoff after a timeout — used by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Tuple, Union
 
 from repro.network.bandwidth import TrafficCategory
+
+#: A permanent ``(a, b)`` or transient ``(a, b, heal_minute)`` partition.
+PartitionEntry = Union[Tuple[int, int], Tuple[int, int, float]]
 
 
 def _link_key(a: int, b: int) -> Tuple[int, int]:
@@ -86,6 +89,10 @@ class FaultPlan:
         the most specific override wins.
     partitioned_links:
         Undirected ``(node_a, node_b)`` pairs that drop *every* message.
+        A three-element ``(node_a, node_b, heal_minute)`` entry is a
+        *transient* partition: it drops messages only while ``now``
+        (supplied by the caller of :meth:`is_partitioned`) is strictly
+        before ``heal_minute``. Two-element entries never heal.
     retry:
         Sender-side :class:`RetryPolicy` applied by the cloud protocols.
     """
@@ -97,7 +104,7 @@ class FaultPlan:
     delay_minutes: float = 0.0
     category_loss: Tuple[Tuple[str, float], ...] = ()
     link_loss: Tuple[Tuple[int, int, float], ...] = ()
-    partitioned_links: Tuple[Tuple[int, int], ...] = ()
+    partitioned_links: Tuple[PartitionEntry, ...] = ()
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
@@ -116,15 +123,34 @@ class FaultPlan:
         for a, b, rate in self.link_loss:
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"loss rate for link ({a}, {b}) must be in [0, 1]")
+        for entry in self.partitioned_links:
+            if len(entry) not in (2, 3):
+                raise ValueError(
+                    f"partition entry must be (a, b) or (a, b, heal_minute), "
+                    f"got {entry!r}"
+                )
+            if len(entry) == 3 and entry[2] < 0:
+                raise ValueError(
+                    f"heal_minute must be >= 0, got {entry[2]} in {entry!r}"
+                )
 
     # ------------------------------------------------------------------
     # Queries (small tuples; linear scans are cheaper than dict rebuilds)
     # ------------------------------------------------------------------
-    def is_partitioned(self, src: int, dst: int) -> bool:
-        """Whether the undirected ``src``-``dst`` link is partitioned."""
+    def is_partitioned(self, src: int, dst: int, now: float = 0.0) -> bool:
+        """Whether the ``src``-``dst`` link is partitioned at time ``now``.
+
+        Permanent ``(a, b)`` entries partition at every time; transient
+        ``(a, b, heal_minute)`` entries partition only while
+        ``now < heal_minute``. The check is a pure time comparison — no RNG
+        is consulted, preserving the zero-draw pass-through promise.
+        """
         key = _link_key(src, dst)
-        for a, b in self.partitioned_links:
-            if _link_key(a, b) == key:
+        for entry in self.partitioned_links:
+            a, b = entry[0], entry[1]
+            if _link_key(a, b) != key:
+                continue
+            if len(entry) == 2 or now < entry[2]:
                 return True
         return False
 

@@ -19,6 +19,12 @@ When the monitored cloud has a fault injector attached, four windowed
 fault series are added: ``retries``, ``timeouts``, ``messages_dropped``,
 and ``stale_refreshes`` — the time-resolved view of how hard the retry and
 repair machinery is working.
+
+When an anti-entropy process is attached, three more series track the
+divergence it exists to bound: ``stale_copies`` (gauge: resident copies
+older than the origin's version), ``stale_age_mean`` (gauge: mean minutes
+since those documents' last origin update — the staleness *age* the
+repair period bounds), and ``ae_repairs`` (windowed repairs performed).
 """
 
 from __future__ import annotations
@@ -48,6 +54,13 @@ _FAULT_METRICS = (
     "stale_refreshes",
 )
 
+#: Extra series sampled only when an anti-entropy process is attached.
+_AE_METRICS = (
+    "stale_copies",
+    "stale_age_mean",
+    "ae_repairs",
+)
+
 
 class CloudMonitor:
     """Samples windowed cloud statistics on a fixed period."""
@@ -61,6 +74,9 @@ class CloudMonitor:
         self._track_faults = getattr(cloud, "faults", None) is not None
         if self._track_faults:
             names.extend(_FAULT_METRICS)
+        self._track_ae = getattr(cloud, "anti_entropy", None) is not None
+        if self._track_ae:
+            names.extend(_AE_METRICS)
         self.series: Dict[str, TimeSeries] = {
             name: TimeSeries(name) for name in names
         }
@@ -68,6 +84,7 @@ class CloudMonitor:
         self._last_bytes = 0
         self._last_stats = CacheStats()
         self._last_faults: Dict[str, float] = {}
+        self._last_ae_repairs = 0.0
         self._process = PeriodicProcess(
             simulator,
             period,
@@ -99,6 +116,8 @@ class CloudMonitor:
         self._last_stats = self._aggregate()
         if self._track_faults:
             self._last_faults = self._fault_snapshot()
+        if self._track_ae:
+            self._last_ae_repairs = float(self.cloud.anti_entropy.stats.repairs)
 
     def _fault_snapshot(self) -> Dict[str, float]:
         cloud = self.cloud
@@ -157,6 +176,33 @@ class CloudMonitor:
                     now, snapshot[name] - self._last_faults.get(name, 0.0)
                 )
             self._last_faults = snapshot
+
+        if self._track_ae:
+            stale, age_sum = self._staleness_scan(now)
+            self.series["stale_copies"].append(now, float(stale))
+            self.series["stale_age_mean"].append(
+                now, age_sum / stale if stale else 0.0
+            )
+            repairs = float(self.cloud.anti_entropy.stats.repairs)
+            self.series["ae_repairs"].append(now, repairs - self._last_ae_repairs)
+            self._last_ae_repairs = repairs
+
+    def _staleness_scan(self, now: float):
+        """Count stale resident copies and sum their staleness ages."""
+        cloud = self.cloud
+        stale = 0
+        age_sum = 0.0
+        for cache in cloud.caches:
+            if not cache.alive:
+                continue
+            for doc_id in cache.storage:
+                copy = cache.storage.get(doc_id)
+                if copy.version < cloud.origin.version_of(doc_id):
+                    stale += 1
+                    age_sum += max(
+                        0.0, now - cloud.last_update_times.get(doc_id, 0.0)
+                    )
+        return stale, age_sum
 
     def __repr__(self) -> str:
         return f"CloudMonitor(period={self.period}, samples={self.samples})"

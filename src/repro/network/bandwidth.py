@@ -27,6 +27,9 @@ class TrafficCategory(enum.Enum):
     CONTROL = "control"
     #: Beacon-point directory records migrating after a sub-range change.
     DIRECTORY_MIGRATION = "directory_migration"
+    #: Background anti-entropy repair: version digests, proactive refreshes,
+    #: invalidations, and orphan re-registrations (repro.audit).
+    ANTI_ENTROPY = "anti_entropy"
 
 
 class TrafficMeter:

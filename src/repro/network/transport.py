@@ -55,6 +55,12 @@ class Transport:
         self.topology = topology
         self.meter = meter if meter is not None else TrafficMeter()
         self.simulator = simulator
+        # Attempt ledger: every send is counted here *and* charged to the
+        # meter, so the invariant auditor can verify conservation (bytes on
+        # the meter == bytes attempted through the transport). Kept separate
+        # from the meter because meters may be shared across transports.
+        self.messages_attempted = 0
+        self.bytes_attempted = 0
 
     # ------------------------------------------------------------------
     # Latency model
@@ -84,6 +90,8 @@ class Transport:
         A zero-byte message is legal (pure signalling) and still charges one
         message to the meter.
         """
+        self.messages_attempted += 1
+        self.bytes_attempted += num_bytes
         self.meter.record(category, num_bytes)
         return self.latency_minutes(src, dst)
 
@@ -102,6 +110,17 @@ class Transport:
         if document_bytes <= 0:
             raise ValueError(f"document_bytes must be > 0, got {document_bytes}")
         return self.send(src, dst, document_bytes + TRANSFER_HEADER_BYTES, category)
+
+    def reset_accounting(self) -> None:
+        """Zero the meter and the attempt ledger together.
+
+        Resetting only the meter would desynchronize it from the ledger and
+        make the auditor's conservation check report a false violation, so
+        measurement-window resets must go through this method.
+        """
+        self.meter.reset()
+        self.messages_attempted = 0
+        self.bytes_attempted = 0
 
     def send_scheduled(
         self,

@@ -1,0 +1,122 @@
+"""End-to-end chaos-audit harness tests.
+
+The acceptance bar for the repair subsystem: every fault campaign must
+quiesce to a violation-free cloud when anti-entropy is on, and the same
+grid must leave visible divergence when it is off (proving the harness
+actually injects the damage anti-entropy exists to repair).
+"""
+
+import pytest
+
+from repro.audit.chaos import ChaosScenario, chaos_audit_grid, run_chaos_scenario
+from repro.experiments.reporting import fingerprint
+
+#: Small enough for CI, long enough for churn + loss to do real damage.
+_FAST = {"duration_minutes": 30.0}
+
+
+@pytest.fixture(scope="module")
+def ae_on_grid():
+    return chaos_audit_grid(
+        seeds=(1,),
+        loss_rates=(0.3,),
+        churn_rates=(0.1,),
+        anti_entropy=True,
+        scenario_overrides=_FAST,
+    )
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            ChaosScenario(key="x", seed=1, loss_rate=1.0, churn_rate=0.0)
+        with pytest.raises(ValueError):
+            ChaosScenario(key="x", seed=1, loss_rate=0.1, churn_rate=-1.0)
+        with pytest.raises(ValueError):
+            ChaosScenario(
+                key="x", seed=1, loss_rate=0.1, churn_rate=0.0,
+                duration_minutes=0.0,
+            )
+
+
+class TestAntiEntropyOn:
+    def test_campaign_injects_real_divergence(self, ae_on_grid):
+        # Vacuity guard: a chaos harness that breaks nothing proves nothing.
+        assert ae_on_grid.total_pre_divergence > 0
+
+    def test_quiesces_to_zero_unrepaired(self, ae_on_grid):
+        assert not ae_on_grid.failures
+        assert ae_on_grid.total_unrepaired == 0
+        assert ae_on_grid.total_post_stale == 0
+        assert ae_on_grid.clean
+
+    def test_never_any_hard_violations(self, ae_on_grid):
+        assert ae_on_grid.total_hard_violations == 0
+
+    def test_render_reports_verdict(self, ae_on_grid):
+        text = ae_on_grid.render()
+        assert "Chaos audit" in text
+        assert "CLEAN" in text
+
+
+class TestAntiEntropyOff:
+    def test_divergence_persists_without_repair(self):
+        grid = chaos_audit_grid(
+            seeds=(1,),
+            loss_rates=(0.3,),
+            churn_rates=(0.1,),
+            anti_entropy=False,
+            scenario_overrides=_FAST,
+        )
+        assert not grid.failures
+        # Nothing repaired anything, so what the campaign broke stays broken.
+        assert grid.total_unrepaired > 0
+        assert grid.total_post_stale > 0
+        assert not grid.clean
+        assert "OFF" in grid.render()
+        for outcome in grid.outcomes:
+            assert outcome.quiesce_repairs == 0
+            assert outcome.ae_stats == {}
+
+    def test_off_still_forbids_hard_violations(self):
+        grid = chaos_audit_grid(
+            seeds=(2,),
+            loss_rates=(0.15,),
+            churn_rates=(0.0,),
+            anti_entropy=False,
+            scenario_overrides=_FAST,
+        )
+        assert grid.total_hard_violations == 0
+
+
+class TestParallelDeterminism:
+    def test_serial_and_parallel_grids_fingerprint_identically(self):
+        kwargs = dict(
+            seeds=(1, 2),
+            loss_rates=(0.3,),
+            churn_rates=(0.1,),
+            anti_entropy=True,
+            scenario_overrides={"duration_minutes": 20.0},
+        )
+        serial = chaos_audit_grid(jobs=1, **kwargs)
+        threaded = chaos_audit_grid(jobs=2, **kwargs)
+        assert fingerprint(serial.outcomes) == fingerprint(threaded.outcomes)
+        assert serial.clean and threaded.clean
+
+
+class TestSingleScenario:
+    def test_outcome_carries_both_audits(self):
+        outcome = run_chaos_scenario(
+            ChaosScenario(
+                key=(3, 0.2, 0.0),
+                seed=3,
+                loss_rate=0.2,
+                churn_rate=0.0,
+                duration_minutes=20.0,
+            )
+        )
+        assert outcome.key == (3, 0.2, 0.0)
+        assert outcome.pre_audit["audit_violations"] >= 0.0
+        assert outcome.post_audit["audit_violations"] == outcome.hard_violations
+        assert outcome.ae_stats["ae_cycles"] > 0
+        assert outcome.resilience  # the run's counters ship with the outcome

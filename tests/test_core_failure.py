@@ -250,6 +250,33 @@ class TestOverlappingFailures:
         assert wide_cloud.caches[survivor].alive
         assert survivor in ring.members
 
+    def test_buddy_failure_right_after_recovery(self, wide_cloud):
+        """Recovery does not re-establish the replica — only the next sync
+        does — so a buddy crash in that window loses exactly the replicas
+        the buddy still hosted, and the freshly recovered node is not
+        among them."""
+        self.populate(wide_cloud)
+        manager = wide_cloud.failure_manager
+        ring = wide_cloud.assigner.rings[0]
+        victim = ring.members[0]
+        buddy = manager.buddy_of(victim)
+        wide_cloud.fail_cache(victim, now=6.0)
+        wide_cloud.recover_cache(victim, now=7.0)
+        assert victim not in manager._replicas
+        held_at_buddy = [
+            owner
+            for owner, (host, _) in manager._replicas.items()
+            if host == buddy
+        ]
+        assert victim not in held_at_buddy
+        lost_before = manager.replicas_lost
+        wide_cloud.fail_cache(buddy, now=8.0)
+        assert manager.replicas_lost - lost_before == len(held_at_buddy)
+        # The next sync after the buddy recovers re-covers everyone.
+        wide_cloud.recover_cache(buddy, now=9.0)
+        wide_cloud.run_cycle(now=10.0)
+        assert victim in manager._replicas
+
     def test_failure_during_recovery_window(self, wide_cloud):
         """A second member fails before the first one's replica re-syncs."""
         self.populate(wide_cloud)

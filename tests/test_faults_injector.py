@@ -92,6 +92,35 @@ class TestFaultPlan:
             plan.loss_rate = 0.1
 
 
+class TestTransientPartitions:
+    def test_heals_at_heal_minute(self):
+        plan = FaultPlan(partitioned_links=((0, 1, 5.0),))
+        assert plan.is_partitioned(0, 1, now=0.0)
+        assert plan.is_partitioned(1, 0, now=4.99)
+        assert not plan.is_partitioned(0, 1, now=5.0)  # heal bound inclusive
+        assert not plan.is_partitioned(0, 1, now=100.0)
+
+    def test_two_tuple_never_heals(self):
+        plan = FaultPlan(partitioned_links=((0, 1),))
+        assert plan.is_partitioned(0, 1, now=1e9)
+
+    def test_mixed_entries_checked_independently(self):
+        plan = FaultPlan(partitioned_links=((0, 1, 2.0), (2, 3)))
+        assert not plan.is_partitioned(0, 1, now=3.0)
+        assert plan.is_partitioned(2, 3, now=3.0)
+        assert plan.is_partitioned(3, 2, now=3.0)
+
+    def test_transient_plan_is_hashable(self):
+        hash(FaultPlan(partitioned_links=((0, 1, 5.0),)))
+
+    @pytest.mark.parametrize(
+        "entry", [(0,), (0, 1, 2.0, 3.0), (0, 1, -1.0)]
+    )
+    def test_validation(self, entry):
+        with pytest.raises(ValueError):
+            FaultPlan(partitioned_links=(entry,))
+
+
 class TestFaultInjector:
     def test_zero_plan_is_pure_passthrough(self):
         """A zero plan charges the meter exactly like a bare transport and
@@ -199,3 +228,43 @@ class TestFaultInjector:
         stats = FaultStats(delivered=3, dropped=2)
         assert stats.attempts == 5
         assert stats.as_dict()["messages_dropped"] == 2.0
+
+    def test_without_clock_transient_partition_acts_permanent(self):
+        # Time is pinned at 0.0, which is always before the heal minute.
+        injector = FaultInjector(
+            FaultPlan(partitioned_links=((0, 1, 5.0),)), Transport()
+        )
+        for _ in range(3):
+            assert injector.deliver_control(0, 1) is None
+
+    def test_clock_heals_transient_partition(self):
+        now = [0.0]
+        injector = FaultInjector(
+            FaultPlan(partitioned_links=((0, 1, 5.0),)),
+            Transport(),
+            clock=lambda: now[0],
+        )
+        assert injector.deliver_control(0, 1) is None
+        now[0] = 5.0
+        assert injector.deliver_control(0, 1) is not None
+        assert injector.stats.dropped == 1
+        assert injector.stats.delivered == 1
+
+    def test_bytes_attempted_counts_drops_and_duplicates(self):
+        injector = FaultInjector(FaultPlan(loss_rate=1.0), Transport())
+        injector.deliver_control(0, 1)
+        assert injector.stats.bytes_attempted == CONTROL_MESSAGE_BYTES
+
+        duplicator = FaultInjector(FaultPlan(duplicate_rate=1.0), Transport())
+        duplicator.deliver_control(0, 1)
+        assert duplicator.stats.bytes_attempted == 2 * CONTROL_MESSAGE_BYTES
+
+    def test_attempt_ledger_matches_transport(self):
+        transport = Transport()
+        injector = FaultInjector(
+            FaultPlan(seed=9, loss_rate=0.5, duplicate_rate=0.3), transport
+        )
+        for i in range(50):
+            injector.deliver_control(i % 4, (i + 1) % 4)
+        assert injector.stats.bytes_attempted == transport.bytes_attempted
+        assert transport.meter.total_bytes == transport.bytes_attempted
