@@ -15,7 +15,7 @@ def test_ablation_cycle_length(benchmark):
     )
     show(result.render())
 
-    cycles = result.column("cycle (min)")
+    _cycles = result.column("cycle (min)")  # noqa: F841 — documents the sweep axis
     migrated = result.column("directory entries migrated")
     covs = result.column("CoV")
     benchmark.extra_info["cov_fastest"] = covs[0]

@@ -15,7 +15,7 @@ def test_ablation_threshold(benchmark):
     )
     show(result.render())
 
-    thresholds = result.column("threshold")
+    _thresholds = result.column("threshold")  # noqa: F841 — documents the sweep axis
     stored = result.column("docs stored/cache (%)")
     benchmark.extra_info["stored_at_0.1"] = stored[0]
     benchmark.extra_info["stored_at_0.9"] = stored[-1]

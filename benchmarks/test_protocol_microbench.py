@@ -1,0 +1,103 @@
+"""Protocol-plane microbenchmark — requests/sec through ``handle_request``.
+
+Unlike the figure benches (scientific reproductions), this is a pure
+throughput probe of the hot path: a fixed-seed request/update mix driven
+straight into one cloud, no simulator in the loop. The archived
+``BENCH_protocol.json`` gives the perf trajectory a baseline to compare
+against across refactors of the protocol plane.
+
+No latency/throughput thresholds are asserted (CI machines vary); the
+assertions pin the *work done* — same seed, same outcome mix — so the
+number archived is always measuring the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from benchmarks.conftest import archive
+from repro.core.cloud import CacheCloud
+from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.workload.documents import build_corpus
+
+#: Fixed workload shape; bump only with a note in the archived artifact.
+NUM_DOCS = 500
+NUM_REQUESTS = 20_000
+WARMUP_REQUESTS = 2_000
+SEED = 42
+
+
+def _workload(num_events: int, num_caches: int, start: int = 0):
+    """A deterministic request stream with an update every 20th event."""
+    rng = random.Random(SEED + start)
+    events = []
+    for i in range(num_events):
+        cache_id = rng.randrange(num_caches)
+        # Mild skew: squaring the uniform draw favours low doc ids, so the
+        # mix exercises local hits, cloud hits, and origin fetches.
+        doc_id = int(rng.random() ** 2 * NUM_DOCS) % NUM_DOCS
+        events.append((cache_id, doc_id, float(start + i)))
+    return events
+
+
+def test_protocol_microbench(benchmark):
+    corpus = build_corpus(NUM_DOCS, random.Random(7))
+    config = CloudConfig(
+        num_caches=10,
+        num_rings=5,
+        intra_gen=1000,
+        assignment=AssignmentScheme.DYNAMIC,
+        placement=PlacementScheme.AD_HOC,
+        seed=SEED,
+    )
+    cloud = CacheCloud(config, corpus)
+
+    for cache_id, doc_id, now in _workload(WARMUP_REQUESTS, config.num_caches):
+        cloud.handle_request(cache_id, doc_id, now)
+
+    timed = _workload(
+        NUM_REQUESTS, config.num_caches, start=WARMUP_REQUESTS
+    )
+
+    def run():
+        start = time.perf_counter()
+        for i, (cache_id, doc_id, now) in enumerate(timed):
+            cloud.handle_request(cache_id, doc_id, now)
+            if i % 20 == 19:
+                cloud.handle_update((3 * i) % NUM_DOCS, now)
+        return time.perf_counter() - start
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    rps = NUM_REQUESTS / elapsed
+    stats = cloud.aggregate_stats()
+    outcome_mix = {
+        "local_hits": stats.local_hits,
+        "cloud_hits": stats.cloud_hits,
+        "origin_fetches": stats.origin_fetches,
+    }
+
+    archive(
+        {
+            "seed": SEED,
+            "num_docs": NUM_DOCS,
+            "warmup_requests": WARMUP_REQUESTS,
+            "timed_requests": NUM_REQUESTS,
+            "elapsed_seconds": elapsed,
+            "requests_per_second": rps,
+            "fabric_dispatches": cloud.fabric.stats.dispatches,
+            "outcome_mix": outcome_mix,
+        },
+        "BENCH_protocol",
+    )
+    benchmark.extra_info["requests_per_second"] = rps
+    benchmark.extra_info.update(outcome_mix)
+
+    # Work-done pins: the timed segment really exercised every path.
+    assert rps > 0.0
+    assert cloud.requests_handled == WARMUP_REQUESTS + NUM_REQUESTS
+    assert stats.local_hits > 0
+    assert stats.cloud_hits > 0
+    assert stats.origin_fetches > 0
+    # A perfect network accrues no retries/timeouts through the fabric.
+    assert cloud.retries == 0 and cloud.timeouts == 0

@@ -388,18 +388,18 @@ class AntiEntropyProcess:
         return [items[(start + k) % len(items)] for k in range(limit)]
 
     def _send(self, src: int, dst: int, num_bytes: int) -> bool:
-        """One repair message; returns whether it arrived."""
-        cloud = self.cloud
-        if cloud.faults is not None:
-            delivered = cloud.faults.deliver(
-                src, dst, num_bytes, TrafficCategory.ANTI_ENTROPY
-            )
-            if delivered is None:
-                self.stats.messages_lost += 1
-                return False
-            return True
-        cloud.transport.send(src, dst, num_bytes, TrafficCategory.ANTI_ENTROPY)
-        return True
+        """One repair message; returns whether it arrived.
+
+        Best-effort by design: anti-entropy is periodic, so a lost digest
+        or push is simply retried (with fresh state) on a later sweep —
+        retransmission would duplicate that work.
+        """
+        delivery = self.cloud.fabric.send(
+            src, dst, num_bytes, TrafficCategory.ANTI_ENTROPY, reliable=False
+        )
+        if not delivery.ok:
+            self.stats.messages_lost += 1
+        return delivery.ok
 
     def __repr__(self) -> str:
         return (

@@ -14,12 +14,20 @@ Modules:
 * :mod:`~repro.core.utility` — the four-component utility function (paper §3.1).
 * :mod:`~repro.core.placement` — ad hoc / beacon-point / utility placement.
 * :mod:`~repro.core.failure` — lazy directory replication and beacon failover.
-* :mod:`~repro.core.cloud` — the cache-cloud orchestrator tying it together.
+* :mod:`~repro.core.protocol` — the typed protocol messages and trace.
+* :mod:`~repro.core.fabric` — the single message-dispatch seam (accounting,
+  fault middleware, tracing).
+* :mod:`~repro.core.node` / :mod:`~repro.core.roles` — the protocol roles:
+  requester-side cache node, beacon point, origin facade.
+* :mod:`~repro.core.cloud` — the composition root tying it together.
 """
 
 from repro.core.adaptive import FeedbackWeightAdapter
 from repro.core.beacon import BeaconState
-from repro.core.cloud import CacheCloud
+from repro.core.cloud import CacheCloud, RequestOutcome, RequestResult
+from repro.core.fabric import Delivery, DispatchRecord, FabricStats, MessageFabric
+from repro.core.node import CacheNode
+from repro.core.roles import BeaconRole, OriginRole
 from repro.core.config import (
     AssignmentScheme,
     CloudConfig,
@@ -53,9 +61,18 @@ __all__ = [
     "AssignmentScheme",
     "BeaconPlacement",
     "BeaconRing",
+    "BeaconRole",
     "BeaconState",
     "CacheCloud",
+    "CacheNode",
     "CloudConfig",
+    "Delivery",
+    "DispatchRecord",
+    "FabricStats",
+    "MessageFabric",
+    "OriginRole",
+    "RequestOutcome",
+    "RequestResult",
     "ConsistentHashAssigner",
     "DynamicHashAssigner",
     "EdgeCacheNetwork",

@@ -23,7 +23,7 @@ is a slow integrator rather than a bang-bang switch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import UtilityWeights
 from repro.core.placement import UtilityPlacement
@@ -95,7 +95,7 @@ class FeedbackWeightAdapter:
     # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
-    def _delta(self, categories) -> int:
+    def _delta(self, categories: Sequence[TrafficCategory]) -> int:
         return sum(
             self.meter.bytes_for(c) - self._last_bytes[c] for c in categories
         )

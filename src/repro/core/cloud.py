@@ -1,20 +1,28 @@
-"""The cache cloud orchestrator.
+"""The cache cloud: composition root and stable public API.
 
-:class:`CacheCloud` wires together everything the paper describes: a set of
-edge caches, the beacon-point role (lookup directory + load counters) at
-every cache, a document→beacon assignment scheme (static / consistent /
-dynamic hashing), a placement policy (ad hoc / beacon-point / utility), the
-origin server, and byte-accounted transport.
+:class:`CacheCloud` wires together everything the paper describes — a set
+of edge caches, the beacon-point role at every cache, a document→beacon
+assignment scheme (static / consistent / dynamic hashing), a placement
+policy, the origin server — and composes them around one
+:class:`~repro.core.fabric.MessageFabric`, the single dispatch seam every
+protocol message crosses.
 
-The three cooperative behaviours (paper §2):
+The protocol logic itself lives in the role modules:
 
-* **Collaborative miss handling** — :meth:`handle_request` consults the
-  document's beacon point on a local miss and retrieves from an in-cloud
-  holder before falling back to the origin.
-* **Cooperative update propagation** — :meth:`handle_update` delivers one
-  server→beacon transfer per update, fanned out in-cloud to holders.
-* **Smart placement** — every retrieval ends with a placement decision
-  through the configured policy.
+* :class:`~repro.core.node.CacheNode` — the requester side: collaborative
+  miss handling, placement, registrations, eviction notices.
+* :class:`~repro.core.roles.BeaconRole` — the directory side: lookup
+  answering with repair, update fan-out, IrH load counters.
+* :class:`~repro.core.roles.OriginRole` — the origin side: per-holder
+  refresh when no beacon point can coordinate.
+
+There is exactly one implementation of each protocol; fault behaviour
+(loss, retries, timeouts, forced deliveries) is a property of the fabric,
+toggled by :meth:`attach_faults` / :meth:`detach_faults`, not a second copy
+of the code. This class keeps only the stable entry points
+(:meth:`handle_request`, :meth:`handle_update`, the cycle and failover
+hooks) plus cloud-wide bookkeeping, so ``experiments/``, ``audit/`` and
+``benchmarks/`` are insulated from the role decomposition.
 
 Set ``cooperation=False`` in the config for the isolated-caches baseline
 (each cache talks only to the origin).
@@ -22,32 +30,25 @@ Set ``cooperation=False`` in the config for the isolated-caches baseline
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.core.beacon import BeaconState
-from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.core.config import AssignmentScheme, CloudConfig
 from repro.core.consistent import ConsistentHashAssigner
+from repro.core.fabric import MessageFabric
 from repro.core.failure import FailureResilienceManager
 from repro.core.hashing import (
+    DocumentAssigner,
     DynamicHashAssigner,
     StaticHashAssigner,
     irh_value,
     ring_index,
 )
+from repro.core.node import CacheNode, RequestOutcome, RequestResult
 from repro.core.placement import make_placement
-from repro.core.protocol import (
-    DirectoryTransfer,
-    LookupRequest,
-    LookupResponse,
-    ProtocolTrace,
-    RangeAnnouncement,
-    UpdateNotice,
-    UpdatePush,
-)
+from repro.core.protocol import DirectoryTransfer, ProtocolTrace, RangeAnnouncement
 from repro.core.ring import BeaconRing
-from repro.core.utility import PlacementContext
+from repro.core.roles import BeaconRole, OriginRole
 from repro.edgecache.cache import EdgeCache
 from repro.edgecache.replacement import make_policy
 from repro.edgecache.stats import CacheStats, DecayingRate
@@ -59,26 +60,10 @@ from repro.simulation.engine import Simulator
 from repro.simulation.process import PeriodicProcess
 from repro.workload.documents import Corpus
 
+if TYPE_CHECKING:
+    from repro.audit.antientropy import AntiEntropyConfig, AntiEntropyProcess
 
-class RequestOutcome(enum.Enum):
-    """How a client request was ultimately served."""
-
-    LOCAL_HIT = "local_hit"
-    CLOUD_HIT = "cloud_hit"  # retrieved from a peer cache in the cloud
-    ORIGIN_FETCH = "origin_fetch"  # group miss
-    # Cooperative path abandoned after exhausting the retry budget.
-    CLOUD_TIMEOUT_ORIGIN_FALLBACK = "cloud_timeout_origin_fallback"
-    # No live beacon point could be found for the document.
-    BEACON_DOWN_ORIGIN_FALLBACK = "beacon_down_origin_fallback"
-
-
-@dataclass
-class RequestResult:
-    """Outcome + client-perceived latency of one request."""
-
-    outcome: RequestOutcome
-    latency_ms: float
-    served_by: int  # cache id, or the origin's node id
+__all__ = ["CacheCloud", "RequestOutcome", "RequestResult"]
 
 
 class CacheCloud:
@@ -93,8 +78,7 @@ class CacheCloud:
     origin:
         Shared origin server; created internally when omitted.
     transport:
-        Byte-accounted message fabric; a zero-latency one is created when
-        omitted.
+        Byte-accounted wire; a zero-latency one is created when omitted.
     capture_protocol:
         Enable :class:`ProtocolTrace` message capture (tests only).
     """
@@ -112,6 +96,8 @@ class CacheCloud:
         self.origin = origin if origin is not None else OriginServer(corpus)
         self.transport = transport if transport is not None else Transport()
         self.trace = ProtocolTrace(enabled=capture_protocol)
+        #: The single dispatch seam every protocol message crosses.
+        self.fabric = MessageFabric(self.transport, self.trace)
 
         self.caches: List[EdgeCache] = [
             EdgeCache(
@@ -127,6 +113,16 @@ class CacheCloud:
             cache_id: BeaconState(cache_id, track_per_irh=config.use_per_irh_load)
             for cache_id in range(config.num_caches)
         }
+        # Protocol roles over the data plane above. ``caches``/``beacons``
+        # stay the public data surface; the roles hold the message logic.
+        self.nodes: List[CacheNode] = [
+            CacheNode(self, cache) for cache in self.caches
+        ]
+        self.beacon_roles: Dict[int, BeaconRole] = {
+            cache_id: BeaconRole(self, state)
+            for cache_id, state in self.beacons.items()
+        }
+        self.origin_role = OriginRole(self, self.origin)
         self.assigner = self._build_assigner()
         self.placement = make_placement(config)
         self.failure_manager: Optional[FailureResilienceManager] = None
@@ -143,10 +139,15 @@ class CacheCloud:
         n = len(corpus)
         self._doc_irh: List[Optional[int]] = [None] * n
         self._doc_ring: List[Optional[int]] = [None] * n
+        self._doc_hops: List[Optional[int]] = [None] * n
         self._beacon_cache: List[Optional[int]] = [None] * n
         self._beacon_cache_valid = config.assignment is not AssignmentScheme.DYNAMIC
 
-        # Cloud-level counters.
+        # Cloud-level counters. The wire-level ones (retries, timeouts,
+        # forced deliveries) live on the fabric and are exposed below as
+        # read-only properties; the protocol-level ones stay here. All are
+        # zero on a perfect network but exist unconditionally so results
+        # stay schema-compatible across fault-free and fault-injected runs.
         self.requests_handled = 0
         self.updates_handled = 0
         self.stale_refreshes = 0
@@ -154,19 +155,10 @@ class CacheCloud:
         self.cycles_run = 0
         self._cycle_process: Optional[PeriodicProcess] = None
 
-        # Fault handling. ``faults is None`` keeps every legacy code path
-        # byte-identical; attaching an injector switches the protocols to
-        # their timeout/retry-aware variants. The counters below exist
-        # unconditionally (always zero on a perfect network) so results
-        # stay schema-compatible across fault-free and fault-injected runs.
-        self.faults: Optional[FaultInjector] = None
         #: Redirect requests addressed to a dead cache instead of raising
         #: (enabled by churn scheduling; clients re-home to a live cache).
         self.redirect_on_dead = False
-        self.retries = 0
-        self.timeouts = 0
         self.fault_origin_fallbacks = 0
-        self.forced_deliveries = 0
         self.beacon_unreachable = 0
         self.update_pushes_lost = 0
         self.registrations_lost = 0
@@ -176,7 +168,7 @@ class CacheCloud:
         # Background repair (repro.audit). ``None`` until attached; an
         # attached-but-disabled process is a strict no-op, so fault-free
         # runs stay value-identical either way.
-        self.anti_entropy = None
+        self.anti_entropy: Optional["AntiEntropyProcess"] = None
         #: doc_id -> time of its latest origin update, for staleness-age
         #: metrics. Pure bookkeeping; never read by any protocol.
         self.last_update_times: Dict[int, float] = {}
@@ -184,7 +176,7 @@ class CacheCloud:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build_assigner(self):
+    def _build_assigner(self) -> DocumentAssigner:
         config = self.config
         cache_ids = list(range(config.num_caches))
         if config.assignment is AssignmentScheme.STATIC:
@@ -202,15 +194,16 @@ class CacheCloud:
         ]
         return DynamicHashAssigner(rings, config.intra_gen)
 
+    # ------------------------------------------------------------------
+    # Fault middleware (delegates to the fabric)
+    # ------------------------------------------------------------------
     def attach_faults(self, injector: FaultInjector) -> None:
         """Route all cloud messaging through ``injector``.
 
         The injector must wrap this cloud's own transport so byte
         accounting lands on the same meter.
         """
-        if injector.transport is not self.transport:
-            raise ValueError("fault injector must wrap the cloud's transport")
-        self.faults = injector
+        self.fabric.attach_faults(injector)
 
     def detach_faults(self) -> None:
         """Restore fault-free messaging (e.g. for post-run quiescing).
@@ -218,9 +211,33 @@ class CacheCloud:
         The injector's accumulated statistics survive on the detached
         object; only future messages bypass it.
         """
-        self.faults = None
+        self.fabric.detach_faults()
 
-    def attach_anti_entropy(self, config=None, simulator: Optional[Simulator] = None):
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The attached fault middleware, or ``None``."""
+        return self.fabric.faults
+
+    @property
+    def retries(self) -> int:
+        """Reliable-dispatch retransmissions issued by the fabric."""
+        return self.fabric.stats.retries
+
+    @property
+    def timeouts(self) -> int:
+        """Reliable-dispatch attempts that timed out on the fabric."""
+        return self.fabric.stats.timeouts
+
+    @property
+    def forced_deliveries(self) -> int:
+        """Dispatches forced through out-of-band after the retry budget."""
+        return self.fabric.stats.forced_deliveries
+
+    def attach_anti_entropy(
+        self,
+        config: Optional["AntiEntropyConfig"] = None,
+        simulator: Optional[Simulator] = None,
+    ) -> "AntiEntropyProcess":
         """Attach (and optionally schedule) the anti-entropy repair process.
 
         Returns the :class:`~repro.audit.antientropy.AntiEntropyProcess`.
@@ -256,6 +273,18 @@ class CacheCloud:
             self._doc_ring[doc_id] = cached
         return cached
 
+    def doc_hops(self, doc_id: int) -> int:
+        """Lookup discovery hops for the document (memoized).
+
+        Consistent hashing re-derives salted-MD5 hop counts per URL; the
+        miss path would otherwise pay that on every group miss.
+        """
+        cached = self._doc_hops[doc_id]
+        if cached is None:
+            cached = self.assigner.discovery_hops(self.corpus[doc_id].url)
+            self._doc_hops[doc_id] = cached
+        return cached
+
     def beacon_for_doc(self, doc_id: int) -> int:
         """Cache id of the document's current beacon point."""
         if self._beacon_cache_valid:
@@ -272,400 +301,11 @@ class CacheCloud:
 
     def invalidate_assignment_cache(self) -> None:
         """Drop memoized beacon assignments after membership changes."""
-        self._beacon_cache = [None] * len(self.corpus)
+        n = len(self.corpus)
+        self._beacon_cache = [None] * n
+        self._doc_hops = [None] * n
 
-    # ------------------------------------------------------------------
-    # Request path
-    # ------------------------------------------------------------------
-    def handle_request(self, cache_id: int, doc_id: int, now: float) -> RequestResult:
-        """Process one client request arriving at ``cache_id``."""
-        cache = self.caches[cache_id]
-        if not cache.alive:
-            if not self.redirect_on_dead:
-                raise RuntimeError(f"request routed to failed cache {cache_id}")
-            cache_id = self._redirect_target(cache_id)
-            cache = self.caches[cache_id]
-            self.requests_redirected += 1
-        self.requests_handled += 1
-        cache.observe_request(doc_id, now)
-        current_version = self.origin.version_of(doc_id)
-
-        copy = cache.copy_of(doc_id)
-        if copy is not None:
-            if copy.version >= current_version:
-                cache.serve_local(doc_id, now)
-                result = RequestResult(RequestOutcome.LOCAL_HIT, 0.0, cache_id)
-                cache.stats.record_latency(result.latency_ms)
-                return result
-            # Stale copy (possible after failures drop directory state):
-            # discard and fall through to the miss path.
-            cache.drop(doc_id, now)
-            self._notify_eviction(cache_id, doc_id)
-            self.stale_refreshes += 1
-
-        if not self.config.cooperation:
-            result = self._serve_from_origin_directly(cache, doc_id, now)
-        else:
-            result = self._serve_miss_cooperatively(cache, doc_id, now)
-        cache.stats.record_latency(result.latency_ms)
-        return result
-
-    def _serve_from_origin_directly(
-        self, cache: EdgeCache, doc_id: int, now: float
-    ) -> RequestResult:
-        """No-cooperation baseline: every miss goes to the origin."""
-        size = self.origin.serve_fetch(doc_id)
-        latency_ms = 60_000.0 * self.transport.rtt_minutes(
-            self.origin.node_id, cache.cache_id
-        )
-        self.transport.send_document(
-            self.origin.node_id, cache.cache_id, size, TrafficCategory.ORIGIN_FETCH
-        )
-        cache.stats.origin_fetches += 1
-        version = self.origin.version_of(doc_id)
-        cache.admit(doc_id, size, version, now)  # ad hoc local store
-        return RequestResult(RequestOutcome.ORIGIN_FETCH, latency_ms, self.origin.node_id)
-
-    def _serve_miss_cooperatively(
-        self, cache: EdgeCache, doc_id: int, now: float
-    ) -> RequestResult:
-        if self.faults is not None:
-            return self._serve_miss_with_faults(cache, doc_id, now)
-        cache_id = cache.cache_id
-        size = self.corpus[doc_id].size_bytes
-        version = self.origin.version_of(doc_id)
-        irh = self.doc_irh(doc_id)
-
-        beacon_id = self._routable_beacon(doc_id)
-        if beacon_id is None:
-            self.beacon_unreachable += 1
-            return self._origin_fallback(
-                cache, doc_id, size, now,
-                RequestOutcome.BEACON_DOWN_ORIGIN_FALLBACK, 0.0,
-            )
-        beacon = self.beacons[beacon_id]
-        beacon.record_lookup(irh)
-        hops = self.assigner.discovery_hops(self.corpus[doc_id].url)
-        # Lookup request (possibly multi-hop for consistent hashing) + response.
-        lookup_latency = 0.0
-        for _ in range(hops):
-            lookup_latency += self.transport.send_control(cache_id, beacon_id)
-        lookup_latency += self.transport.send_control(beacon_id, cache_id)
-        if self.trace.enabled:
-            self.trace.emit(LookupRequest(cache_id, beacon_id, doc_id))
-
-        holder_id = self._pick_holder(beacon, doc_id, cache_id, version)
-        if self.trace.enabled:
-            # Only built under capture: the frozenset copy of the holder set
-            # is pure instrumentation and must not tax the hot loop.
-            self.trace.emit(
-                LookupResponse(
-                    beacon_id,
-                    cache_id,
-                    doc_id,
-                    frozenset(beacon.directory.holders(doc_id)),
-                )
-            )
-
-        if holder_id is not None:
-            transfer_latency = self.transport.send_document(
-                holder_id, cache_id, size, TrafficCategory.PEER_TRANSFER
-            )
-            # Serving a peer refreshes the holder's recency for the document.
-            self.caches[holder_id].storage.access(doc_id, now)
-            cache.stats.cloud_hits += 1
-            outcome = RequestOutcome.CLOUD_HIT
-            served_by = holder_id
-        else:
-            cache.stats.origin_fetches += 1
-            outcome = RequestOutcome.ORIGIN_FETCH
-            if (
-                self.config.placement is PlacementScheme.BEACON
-                and cache_id != beacon_id
-                and self.caches[beacon_id].alive
-            ):
-                # Beacon-point placement: the copy must land at the beacon,
-                # so the fetch is routed through it.
-                self.origin.serve_fetch(doc_id)
-                transfer_latency = self.transport.send_document(
-                    self.origin.node_id, beacon_id, size, TrafficCategory.ORIGIN_FETCH
-                )
-                self._admit_and_register(beacon_id, doc_id, size, version, now)
-                transfer_latency += self.transport.send_document(
-                    beacon_id, cache_id, size, TrafficCategory.PEER_TRANSFER
-                )
-                served_by = self.origin.node_id
-                latency_ms = 60_000.0 * (lookup_latency + transfer_latency)
-                # The requester itself never stores under beacon placement.
-                cache.decline()
-                return RequestResult(outcome, latency_ms, served_by)
-            self.origin.serve_fetch(doc_id)
-            transfer_latency = self.transport.send_document(
-                self.origin.node_id, cache_id, size, TrafficCategory.ORIGIN_FETCH
-            )
-            served_by = self.origin.node_id
-
-        # Placement decision at the requester.
-        ctx = self._placement_context(cache, doc_id, size, now, beacon_id)
-        if self.placement.should_store(ctx):
-            self._admit_and_register(cache_id, doc_id, size, version, now)
-        else:
-            cache.decline()
-        latency_ms = 60_000.0 * (lookup_latency + transfer_latency)
-        return RequestResult(outcome, latency_ms, served_by)
-
-    # ------------------------------------------------------------------
-    # Fault-aware request path
-    # ------------------------------------------------------------------
-    def _serve_miss_with_faults(
-        self, cache: EdgeCache, doc_id: int, now: float
-    ) -> RequestResult:
-        """Cooperative miss handling with lossy messaging.
-
-        Same protocol as :meth:`_serve_miss_cooperatively`, but every
-        message goes through the fault injector under the plan's retry
-        policy. A zero-fault plan delivers every first attempt with no
-        added latency, so results are value-identical to the legacy path.
-        """
-        cache_id = cache.cache_id
-        size = self.corpus[doc_id].size_bytes
-        version = self.origin.version_of(doc_id)
-        irh = self.doc_irh(doc_id)
-
-        beacon_id = self._routable_beacon(doc_id)
-        if beacon_id is None:
-            self.beacon_unreachable += 1
-            return self._origin_fallback(
-                cache, doc_id, size, now,
-                RequestOutcome.BEACON_DOWN_ORIGIN_FALLBACK, 0.0,
-            )
-        beacon = self.beacons[beacon_id]
-        hops = self.assigner.discovery_hops(self.corpus[doc_id].url)
-        ok, lookup_latency = self._lookup_with_retry(
-            cache_id, beacon_id, beacon, doc_id, irh, hops
-        )
-        if not ok:
-            self.fault_origin_fallbacks += 1
-            return self._origin_fallback(
-                cache, doc_id, size, now,
-                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK, lookup_latency,
-            )
-
-        holder_id = self._pick_holder(beacon, doc_id, cache_id, version)
-        if self.trace.enabled:
-            self.trace.emit(
-                LookupResponse(
-                    beacon_id,
-                    cache_id,
-                    doc_id,
-                    frozenset(beacon.directory.holders(doc_id)),
-                )
-            )
-
-        if holder_id is not None:
-            ok, transfer_latency = self._deliver_with_retry(
-                lambda: self.faults.deliver_document(
-                    holder_id, cache_id, size, TrafficCategory.PEER_TRANSFER
-                )
-            )
-            if not ok:
-                # The peer copy never arrived; degrade to the origin.
-                self.fault_origin_fallbacks += 1
-                return self._origin_fallback(
-                    cache, doc_id, size, now,
-                    RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
-                    lookup_latency + transfer_latency,
-                )
-            self.caches[holder_id].storage.access(doc_id, now)
-            cache.stats.cloud_hits += 1
-            outcome = RequestOutcome.CLOUD_HIT
-            served_by = holder_id
-        else:
-            cache.stats.origin_fetches += 1
-            outcome = RequestOutcome.ORIGIN_FETCH
-            if (
-                self.config.placement is PlacementScheme.BEACON
-                and cache_id != beacon_id
-            ):
-                return self._beacon_placed_fetch_with_faults(
-                    cache, doc_id, size, version, now,
-                    beacon_id, lookup_latency,
-                )
-            self.origin.serve_fetch(doc_id)
-            transfer_latency = self._fetch_from_origin_with_retry(cache_id, size)
-            served_by = self.origin.node_id
-
-        ctx = self._placement_context(cache, doc_id, size, now, beacon_id)
-        if self.placement.should_store(ctx):
-            self._admit_and_register(cache_id, doc_id, size, version, now)
-        else:
-            cache.decline()
-        latency_ms = 60_000.0 * (lookup_latency + transfer_latency)
-        return RequestResult(outcome, latency_ms, served_by)
-
-    def _beacon_placed_fetch_with_faults(
-        self,
-        cache: EdgeCache,
-        doc_id: int,
-        size: int,
-        version: int,
-        now: float,
-        beacon_id: int,
-        lookup_latency: float,
-    ) -> RequestResult:
-        """Beacon-point placement fetch (origin → beacon → requester)."""
-        cache_id = cache.cache_id
-        self.origin.serve_fetch(doc_id)
-        ok, leg_one = self._deliver_with_retry(
-            lambda: self.faults.deliver_document(
-                self.origin.node_id, beacon_id, size, TrafficCategory.ORIGIN_FETCH
-            )
-        )
-        if not ok:
-            self.fault_origin_fallbacks += 1
-            return self._origin_fallback(
-                cache, doc_id, size, now,
-                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
-                lookup_latency + leg_one,
-            )
-        self._admit_and_register(beacon_id, doc_id, size, version, now)
-        ok, leg_two = self._deliver_with_retry(
-            lambda: self.faults.deliver_document(
-                beacon_id, cache_id, size, TrafficCategory.PEER_TRANSFER
-            )
-        )
-        if not ok:
-            self.fault_origin_fallbacks += 1
-            return self._origin_fallback(
-                cache, doc_id, size, now,
-                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
-                lookup_latency + leg_one + leg_two,
-            )
-        cache.decline()  # the requester never stores under beacon placement
-        latency_ms = 60_000.0 * (lookup_latency + leg_one + leg_two)
-        return RequestResult(
-            RequestOutcome.ORIGIN_FETCH, latency_ms, self.origin.node_id
-        )
-
-    def _lookup_with_retry(
-        self,
-        cache_id: int,
-        beacon_id: int,
-        beacon: BeaconState,
-        doc_id: int,
-        irh: int,
-        hops: int,
-    ) -> Tuple[bool, float]:
-        """Run the lookup RPC (request hops + response) under retry."""
-        faults = self.faults
-        policy = faults.plan.retry
-        latency = 0.0
-        for attempt in range(policy.max_attempts):
-            if attempt > 0:
-                self.retries += 1
-                latency += policy.backoff_minutes(attempt - 1)
-            delivered = True
-            for _ in range(hops):
-                leg = faults.deliver_control(cache_id, beacon_id)
-                if leg is None:
-                    delivered = False
-                    break
-                latency += leg
-            if delivered:
-                # The request reached the beacon: its load counter ticks
-                # even if the response is subsequently lost.
-                beacon.record_lookup(irh)
-                if self.trace.enabled:
-                    self.trace.emit(LookupRequest(cache_id, beacon_id, doc_id))
-                response = faults.deliver_control(beacon_id, cache_id)
-                if response is None:
-                    delivered = False
-                else:
-                    latency += response
-            if delivered:
-                return True, latency
-            self.timeouts += 1
-            latency += policy.timeout_minutes
-        return False, latency
-
-    def _deliver_with_retry(
-        self, send: Callable[[], Optional[float]]
-    ) -> Tuple[bool, float]:
-        """Retry ``send`` under the plan's policy; returns (ok, latency).
-
-        The returned latency includes timeout and backoff penalties for
-        every failed attempt, so client-perceived latency reflects loss.
-        """
-        policy = self.faults.plan.retry
-        latency = 0.0
-        for attempt in range(policy.max_attempts):
-            if attempt > 0:
-                self.retries += 1
-                latency += policy.backoff_minutes(attempt - 1)
-            result = send()
-            if result is not None:
-                return True, latency + result
-            self.timeouts += 1
-            latency += policy.timeout_minutes
-        return False, latency
-
-    def _fetch_from_origin_with_retry(self, cache_id: int, size: int) -> float:
-        """Deliver an origin fetch, forcing delivery after the retry budget.
-
-        Origin fetches are the last line of service: when even they keep
-        getting lost the client ultimately receives the document anyway
-        (reality: a different route / longer TCP recovery), so the final
-        attempt is delivered out-of-band and counted.
-        """
-        delivered, latency = self._deliver_with_retry(
-            lambda: self.faults.deliver_document(
-                self.origin.node_id, cache_id, size, TrafficCategory.ORIGIN_FETCH
-            )
-        )
-        if not delivered:
-            self.forced_deliveries += 1
-            latency += self.transport.send_document(
-                self.origin.node_id, cache_id, size, TrafficCategory.ORIGIN_FETCH
-            )
-        return latency
-
-    def _origin_fallback(
-        self,
-        cache: EdgeCache,
-        doc_id: int,
-        size: int,
-        now: float,
-        outcome: RequestOutcome,
-        accrued_latency: float,
-    ) -> RequestResult:
-        """Serve from the origin after the cooperative path failed.
-
-        The copy is stored ad hoc but *not* registered with the beacon —
-        the directory was unreachable, which is exactly why we are here.
-        Later lookups repair any resulting staleness.
-        """
-        cache.stats.origin_fetches += 1
-        self.origin.serve_fetch(doc_id)
-        if self.faults is not None:
-            transfer_latency = self._fetch_from_origin_with_retry(
-                cache.cache_id, size
-            )
-        else:
-            transfer_latency = self.transport.send_document(
-                self.origin.node_id, cache.cache_id, size,
-                TrafficCategory.ORIGIN_FETCH,
-            )
-        version = self.origin.version_of(doc_id)
-        evicted = cache.admit(doc_id, size, version, now)
-        if evicted is None:
-            cache.decline()
-        else:
-            for evicted_doc in evicted:
-                self._notify_eviction(cache.cache_id, evicted_doc)
-        latency_ms = 60_000.0 * (accrued_latency + transfer_latency)
-        return RequestResult(outcome, latency_ms, self.origin.node_id)
-
-    def _routable_beacon(self, doc_id: int) -> Optional[int]:
+    def routable_beacon(self, doc_id: int) -> Optional[int]:
         """The document's beacon point if one is alive, else ``None``.
 
         Under the dynamic scheme a managed failover re-homes the range, so
@@ -682,6 +322,43 @@ class CacheCloud:
             if self.caches[beacon_id].alive:
                 return beacon_id
         return None
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def handle_request(self, cache_id: int, doc_id: int, now: float) -> RequestResult:
+        """Process one client request arriving at ``cache_id``."""
+        cache = self.caches[cache_id]
+        if not cache.alive:
+            if not self.redirect_on_dead:
+                raise RuntimeError(f"request routed to failed cache {cache_id}")
+            cache_id = self._redirect_target(cache_id)
+            cache = self.caches[cache_id]
+            self.requests_redirected += 1
+        node = self.nodes[cache_id]
+        self.requests_handled += 1
+        cache.observe_request(doc_id, now)
+        current_version = self.origin.version_of(doc_id)
+
+        copy = cache.copy_of(doc_id)
+        if copy is not None:
+            if copy.version >= current_version:
+                cache.serve_local(doc_id, now)
+                result = RequestResult(RequestOutcome.LOCAL_HIT, 0.0, cache_id)
+                cache.stats.record_latency(result.latency_ms)
+                return result
+            # Stale copy (possible after failures drop directory state):
+            # discard and fall through to the miss path.
+            cache.drop(doc_id, now)
+            node.notify_eviction(doc_id)
+            self.stale_refreshes += 1
+
+        if not self.config.cooperation:
+            result = node.fetch_direct(doc_id, now)
+        else:
+            result = node.serve_miss(doc_id, now)
+        cache.stats.record_latency(result.latency_ms)
+        return result
 
     def _redirect_target(self, cache_id: int) -> int:
         """Deterministic live stand-in for a down cache.
@@ -704,128 +381,6 @@ class CacheCloud:
                 return candidate
         raise RuntimeError("no live cache to redirect to")
 
-    def _pick_holder(
-        self, beacon: BeaconState, doc_id: int, requester: int, version: int
-    ) -> Optional[int]:
-        """Choose a live, fresh holder from the directory; repair stale entries.
-
-        Preference order: nearest holder by transport latency (all ties break
-        toward the lowest cache id for determinism).
-        """
-        candidates = beacon.directory.holders(doc_id)
-        candidates.discard(requester)
-        live: List[int] = []
-        for holder in sorted(candidates):
-            holder_cache = self.caches[holder]
-            if holder_cache.alive and holder_cache.holds_fresh(doc_id, version):
-                live.append(holder)
-            else:
-                # Directory entry out of date (failure or stale replica).
-                beacon.directory.remove_holder(doc_id, holder)
-                self.directory_repairs += 1
-        if not live:
-            return None
-        if self.transport.topology is None:
-            return live[0]
-        return min(
-            live, key=lambda h: (self.transport.latency_minutes(h, requester), h)
-        )
-
-    def _placement_context(
-        self,
-        cache: EdgeCache,
-        doc_id: int,
-        size: int,
-        now: float,
-        beacon_id: int,
-    ) -> PlacementContext:
-        holders = self.beacons[beacon_id].directory.holders(doc_id)
-        holders.discard(cache.cache_id)
-        residences = [
-            self.caches[h].storage.expected_residence(now)
-            for h in holders
-            if self.caches[h].alive
-        ]
-        finite = [r for r in residences if r is not None]
-        # An existing holder with no contention keeps its copy indefinitely;
-        # only when every holder is under contention is the minimum finite.
-        if holders and len(finite) == len(residences) and finite:
-            min_residence = min(finite)
-        else:
-            min_residence = None
-        update_tracker = self._update_rates.get(doc_id)
-        return PlacementContext(
-            cache_id=cache.cache_id,
-            doc_id=doc_id,
-            size_bytes=size,
-            now=now,
-            beacon_id=beacon_id,
-            existing_holders=frozenset(holders),
-            local_access_rate=cache.frequencies.rate_of(doc_id, now),
-            cache_mean_rate=cache.frequencies.mean_rate(now),
-            update_rate=update_tracker.rate(now) if update_tracker else 0.0,
-            expected_residence_new=cache.storage.expected_residence(now),
-            min_residence_existing=min_residence,
-        )
-
-    def _admit_and_register(
-        self, cache_id: int, doc_id: int, size: int, version: int, now: float
-    ) -> None:
-        cache = self.caches[cache_id]
-        evicted = cache.admit(doc_id, size, version, now)
-        if evicted is None:
-            cache.decline()  # did not fit at all
-            return
-        beacon_id = self.beacon_for_doc(doc_id)
-        if cache_id == beacon_id:
-            self.beacons[beacon_id].directory.add_holder(
-                doc_id, self.doc_irh(doc_id), cache_id
-            )
-        elif not self.caches[beacon_id].alive:
-            # Beacon unreachable: the copy stays unregistered and can only
-            # serve local hits until a later registration succeeds.
-            self.registrations_lost += 1
-        elif self.faults is None:
-            self.beacons[beacon_id].directory.add_holder(
-                doc_id, self.doc_irh(doc_id), cache_id
-            )
-            self.transport.send_control(cache_id, beacon_id)  # holder registration
-        else:
-            ok, _ = self._deliver_with_retry(
-                lambda: self.faults.deliver_control(cache_id, beacon_id)
-            )
-            if ok:
-                self.beacons[beacon_id].directory.add_holder(
-                    doc_id, self.doc_irh(doc_id), cache_id
-                )
-            else:
-                self.registrations_lost += 1
-        for evicted_doc in evicted:
-            self._notify_eviction(cache_id, evicted_doc)
-
-    def _notify_eviction(self, cache_id: int, doc_id: int) -> None:
-        """Tell the evicted document's beacon that this cache dropped it.
-
-        Eviction notices are best-effort (no retransmission): a lost one
-        leaves a stale directory entry that the next lookup's holder
-        verification repairs.
-        """
-        beacon_id = self.beacon_for_doc(doc_id)
-        if cache_id == beacon_id:
-            self.beacons[beacon_id].directory.remove_holder(doc_id, cache_id)
-            return
-        if not self.caches[beacon_id].alive:
-            self.eviction_notices_lost += 1
-            return
-        if self.faults is None:
-            self.beacons[beacon_id].directory.remove_holder(doc_id, cache_id)
-            self.transport.send_control(cache_id, beacon_id)
-            return
-        if self.faults.deliver_control(cache_id, beacon_id) is None:
-            self.eviction_notices_lost += 1
-            return
-        self.beacons[beacon_id].directory.remove_holder(doc_id, cache_id)
-
     # ------------------------------------------------------------------
     # Update path
     # ------------------------------------------------------------------
@@ -842,148 +397,17 @@ class CacheCloud:
         size = self.corpus[doc_id].size_bytes
 
         if not self.config.cooperation:
-            return self._refresh_holders_from_origin(doc_id, version, size, now)
+            return self.origin_role.refresh_holders(doc_id, version, size, now)
 
-        beacon_id = self._routable_beacon(doc_id)
+        beacon_id = self.routable_beacon(doc_id)
         if beacon_id is None:
             # Dead beacon with no failover: the origin must refresh every
             # holder individually, exactly like the no-cooperation baseline.
             self.beacon_unreachable += 1
-            return self._refresh_holders_from_origin(doc_id, version, size, now)
-        if self.faults is not None:
-            return self._push_update_with_faults(
-                doc_id, beacon_id, version, size, now
-            )
-
-        beacon = self.beacons[beacon_id]
-        beacon.record_update(self.doc_irh(doc_id))
-        self.origin.note_update_message(doc_id)
-
-        holders = [
-            h
-            for h in sorted(beacon.directory.holders(doc_id))
-            if self.caches[h].alive and self.caches[h].holds(doc_id)
-        ]
-        carries_body = bool(holders)
-        if self.trace.enabled:
-            self.trace.emit(
-                UpdateNotice(doc_id, version, beacon_id, carries_body, size)
-            )
-        if not carries_body:
-            # Nobody holds the document: a bare invalidation notice suffices.
-            self.transport.send_control(self.origin.node_id, beacon_id)
-            return 0
-        self.transport.send_document(
-            self.origin.node_id, beacon_id, size, TrafficCategory.UPDATE_SERVER_TO_BEACON
+            return self.origin_role.refresh_holders(doc_id, version, size, now)
+        return self.beacon_roles[beacon_id].propagate_update(
+            doc_id, version, size, now
         )
-        refreshed = 0
-        for holder in holders:
-            if holder != beacon_id:
-                self.transport.send_document(
-                    beacon_id, holder, size, TrafficCategory.UPDATE_FANOUT
-                )
-                if self.trace.enabled:
-                    self.trace.emit(
-                        UpdatePush(beacon_id, holder, doc_id, version, size)
-                    )
-            self.caches[holder].apply_update(doc_id, version, now, size_bytes=size)
-            refreshed += 1
-        return refreshed
-
-    def _refresh_holders_from_origin(
-        self, doc_id: int, version: int, size: int, now: float
-    ) -> int:
-        """The origin refreshes every holding cache individually.
-
-        Serves both the no-cooperation baseline and the degraded update
-        path when no live beacon exists. With faults attached, each
-        refresh retries under the policy; a holder whose refresh is lost
-        stays stale (repaired + counted on its next request).
-        """
-        refreshed = 0
-        for cache in self.caches:
-            if cache.alive and cache.holds(doc_id):
-                self.origin.note_update_message(doc_id)
-                if self.faults is None:
-                    self.transport.send_document(
-                        self.origin.node_id,
-                        cache.cache_id,
-                        size,
-                        TrafficCategory.UPDATE_SERVER_TO_BEACON,
-                    )
-                else:
-                    ok, _ = self._deliver_with_retry(
-                        lambda c=cache.cache_id: self.faults.deliver_document(
-                            self.origin.node_id, c, size,
-                            TrafficCategory.UPDATE_SERVER_TO_BEACON,
-                        )
-                    )
-                    if not ok:
-                        self.update_pushes_lost += 1
-                        continue
-                cache.apply_update(doc_id, version, now, size_bytes=size)
-                refreshed += 1
-        return refreshed
-
-    def _push_update_with_faults(
-        self, doc_id: int, beacon_id: int, version: int, size: int, now: float
-    ) -> int:
-        """Cooperative update propagation with lossy messaging.
-
-        A lost server→beacon transfer leaves *every* holder stale; a lost
-        fan-out push leaves that one holder stale. Both are detected by the
-        version check on the holder's next request and repaired there.
-        """
-        beacon = self.beacons[beacon_id]
-        irh = self.doc_irh(doc_id)
-        holders = [
-            h
-            for h in sorted(beacon.directory.holders(doc_id))
-            if self.caches[h].alive and self.caches[h].holds(doc_id)
-        ]
-        carries_body = bool(holders)
-        if self.trace.enabled:
-            self.trace.emit(
-                UpdateNotice(doc_id, version, beacon_id, carries_body, size)
-            )
-        self.origin.note_update_message(doc_id)
-        if not carries_body:
-            ok, _ = self._deliver_with_retry(
-                lambda: self.faults.deliver_control(self.origin.node_id, beacon_id)
-            )
-            if ok:
-                beacon.record_update(irh)
-            return 0
-        ok, _ = self._deliver_with_retry(
-            lambda: self.faults.deliver_document(
-                self.origin.node_id, beacon_id, size,
-                TrafficCategory.UPDATE_SERVER_TO_BEACON,
-            )
-        )
-        if not ok:
-            # The fresh body never reached the beacon: every holder is now
-            # stale until its next request triggers the repair path.
-            self.update_pushes_lost += len(holders)
-            return 0
-        beacon.record_update(irh)
-        refreshed = 0
-        for holder in holders:
-            if holder != beacon_id:
-                ok, _ = self._deliver_with_retry(
-                    lambda h=holder: self.faults.deliver_document(
-                        beacon_id, h, size, TrafficCategory.UPDATE_FANOUT
-                    )
-                )
-                if not ok:
-                    self.update_pushes_lost += 1
-                    continue
-                if self.trace.enabled:
-                    self.trace.emit(
-                        UpdatePush(beacon_id, holder, doc_id, version, size)
-                    )
-            self.caches[holder].apply_update(doc_id, version, now, size_bytes=size)
-            refreshed += 1
-        return refreshed
 
     # ------------------------------------------------------------------
     # Sub-range determination cycles
@@ -1014,6 +438,8 @@ class CacheCloud:
             if not result.changed:
                 continue
             # Announce the new assignment to every cache and the origin.
+            # System-plane traffic: accounted and logged by the fabric but
+            # not subject to the fault middleware (see fabric docs).
             coordinator = ring.members[0]
             if self.trace.enabled:
                 assignments = tuple(
@@ -1024,8 +450,8 @@ class CacheCloud:
                 self.trace.emit(RangeAnnouncement(ring_idx, assignments))
             for cache in self.caches:
                 if cache.cache_id != coordinator and cache.alive:
-                    self.transport.send_control(coordinator, cache.cache_id)
-            self.transport.send_control(coordinator, self.origin.node_id)
+                    self.fabric.send_system_control(coordinator, cache.cache_id)
+            self.fabric.send_system_control(coordinator, self.origin.node_id)
             # Migrate lookup records for the moved IrH spans.
             for lo, hi, src, dst in result.moves:
                 entries = self.beacons[src].directory.extract_range(lo, hi)
@@ -1033,7 +459,7 @@ class CacheCloud:
                 self.beacons[dst].directory_entries_migrated += len(entries)
                 transfer = DirectoryTransfer(src, dst, len(entries))
                 self.trace.emit(transfer)
-                self.transport.send(
+                self.fabric.send_system(
                     src, dst, transfer.size_bytes, TrafficCategory.DIRECTORY_MIGRATION
                 )
         if self.failure_manager is not None:

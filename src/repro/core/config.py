@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 class AssignmentScheme(enum.Enum):
@@ -58,7 +58,7 @@ class UtilityWeights:
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"weights must sum to 1, got {total}")
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, float]:
         """Weights as a name -> value dict."""
         return {"afc": self.afc, "dai": self.dai, "dscc": self.dscc, "cmc": self.cmc}
 

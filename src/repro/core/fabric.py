@@ -1,0 +1,390 @@
+"""The message-dispatch fabric: one seam for every protocol message.
+
+Every inter-node message of the cache-cloud protocols — lookup RPCs, peer
+transfers, origin fetches, update notices and fan-out pushes, holder
+registrations, eviction notices, directory migrations — is dispatched
+through a single :class:`MessageFabric`. Per dispatch the fabric
+
+* charges the :class:`~repro.network.bandwidth.TrafficMeter` and the
+  transport's attempt ledger (the invariant auditor's conservation check
+  reads both),
+* applies the :class:`~repro.faults.injector.FaultInjector` as *middleware*
+  when one is attached — loss/delay/duplication/partition on each wire
+  attempt, plus the plan's :class:`~repro.faults.plan.RetryPolicy` for
+  reliable dispatches,
+* emits the typed :mod:`repro.core.protocol` message to the
+  :class:`~repro.core.protocol.ProtocolTrace` when capture is on, and
+* returns the accumulated latency (successful legs plus timeout/backoff
+  penalties), so client-perceived latency reflects loss.
+
+Because retry/timeout behaviour lives *here*, the protocol roles
+(:mod:`repro.core.node`, :mod:`repro.core.roles`) are written exactly once:
+with no injector attached every dispatch succeeds on its single attempt and
+the fabric is byte-identical to a bare transport; attaching an injector
+changes delivery fates, not protocol code.
+
+Dispatch styles
+---------------
+* **best-effort** (``reliable=False``) — one attempt, no retransmission.
+  Eviction notices use this: a lost notice leaves a stale directory entry
+  that the next lookup repairs.
+* **reliable** (``reliable=True``) — bounded retransmission under the
+  attached plan's retry policy; the returned :class:`Delivery` says whether
+  the message ultimately arrived.
+* **forced** (:meth:`send_forced_document`) — reliable, then delivered
+  out-of-band through the bare transport if the retry budget is exhausted.
+  Origin fetches are the last line of service: the client ultimately
+  receives the document anyway (reality: a different route / longer TCP
+  recovery), so the final attempt bypasses the fault middleware and is
+  counted as a forced delivery.
+* **system** (:meth:`send_system`) — infrastructure-plane traffic (cycle
+  announcements, directory migrations, buddy-replica syncs, anti-entropy
+  digests) that is accounted and logged but not subject to the fault
+  middleware; the fault model covers the request/update protocols, and
+  these transfers carry their own robustness story (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.protocol import ProtocolTrace
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import RetryPolicy
+from repro.network.bandwidth import TrafficCategory
+from repro.network.transport import (
+    CONTROL_MESSAGE_BYTES,
+    TRANSFER_HEADER_BYTES,
+    Transport,
+)
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Outcome of one fabric dispatch.
+
+    ``latency`` is in simulated minutes and includes the successful leg(s)
+    plus every timeout and backoff penalty accrued along the way, so a
+    failed delivery still reports the time the sender spent trying.
+    """
+
+    ok: bool
+    latency: float
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class DispatchRecord:
+    """One wire attempt as issued by a protocol, before fault middleware.
+
+    The dispatch log records what the protocols *sent*, not what arrived —
+    which is exactly the quantity that must be identical between a run with
+    no injector and a run with a zero-fault injector (the structural
+    equivalence guarantee tested in ``tests/test_core_fabric.py``).
+    """
+
+    src: int
+    dst: int
+    num_bytes: int
+    category: str
+
+
+@dataclass
+class FabricStats:
+    """Wire-level dispatch counters accumulated by one fabric."""
+
+    dispatches: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    forced_deliveries: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (measurement-window resets)."""
+        self.dispatches = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.forced_deliveries = 0
+
+
+#: A dispatch that failed before any wire attempt (no such case today, but
+#: roles use it as the "gave up with nothing accrued" zero value).
+FAILED_FREE = Delivery(ok=False, latency=0.0, attempts=0)
+
+
+class MessageFabric:
+    """Single dispatch seam between the protocol roles of one cloud.
+
+    Parameters
+    ----------
+    transport:
+        The byte-accounted wire (meter + attempt ledger).
+    trace:
+        Shared :class:`ProtocolTrace`; a disabled one is created when
+        omitted. Roles gate message *construction* on ``trace.enabled`` so
+        the hot path never builds instrumentation objects it will not use.
+    """
+
+    def __init__(
+        self, transport: Transport, trace: Optional[ProtocolTrace] = None
+    ) -> None:
+        self.transport = transport
+        self.trace = trace if trace is not None else ProtocolTrace()
+        self.faults: Optional[FaultInjector] = None
+        self.stats = FabricStats()
+        #: When not ``None``, every wire attempt is appended here.
+        self.dispatch_log: Optional[List[DispatchRecord]] = None
+
+    # ------------------------------------------------------------------
+    # Middleware management
+    # ------------------------------------------------------------------
+    def attach_faults(self, injector: FaultInjector) -> None:
+        """Install ``injector`` as the delivery middleware.
+
+        The injector must wrap this fabric's own transport so byte
+        accounting lands on the same meter and attempt ledger.
+        """
+        if injector.transport is not self.transport:
+            raise ValueError("fault injector must wrap the fabric's transport")
+        self.faults = injector
+
+    def detach_faults(self) -> None:
+        """Remove the fault middleware (e.g. for post-run quiescing).
+
+        The injector's accumulated statistics survive on the detached
+        object; only future dispatches bypass it.
+        """
+        self.faults = None
+
+    @property
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The attached plan's retry policy, or ``None`` without faults."""
+        return None if self.faults is None else self.faults.plan.retry
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def emit(self, message: object) -> None:
+        """Record a protocol message on the trace (when capture is on)."""
+        self.trace.emit(message)
+
+    def capture_dispatches(self) -> List[DispatchRecord]:
+        """Start recording wire attempts; returns the live record list."""
+        records: List[DispatchRecord] = []
+        self.dispatch_log = records
+        return records
+
+    def stop_dispatch_capture(self) -> None:
+        """Stop recording wire attempts."""
+        self.dispatch_log = None
+
+    # ------------------------------------------------------------------
+    # Wire attempts (the only two ways bytes leave a node)
+    # ------------------------------------------------------------------
+    def _attempt(
+        self, src: int, dst: int, num_bytes: int, category: TrafficCategory
+    ) -> Optional[float]:
+        """One wire attempt through the middleware stack.
+
+        Returns the one-way latency, or ``None`` if the middleware lost the
+        message. The attempt is charged to the meter and the transport's
+        ledger either way — lost bytes still crossed part of the wire.
+        """
+        if self.dispatch_log is not None:
+            self.dispatch_log.append(
+                DispatchRecord(src, dst, num_bytes, category.value)
+            )
+        self.stats.dispatches += 1
+        if self.faults is None:
+            return self.transport.send(src, dst, num_bytes, category)
+        return self.faults.deliver(src, dst, num_bytes, category)
+
+    def _bare(
+        self, src: int, dst: int, num_bytes: int, category: TrafficCategory
+    ) -> float:
+        """One wire attempt *bypassing* the fault middleware.
+
+        Used for forced deliveries and system-plane traffic; still logged
+        and charged so the conservation invariant holds.
+        """
+        if self.dispatch_log is not None:
+            self.dispatch_log.append(
+                DispatchRecord(src, dst, num_bytes, category.value)
+            )
+        self.stats.dispatches += 1
+        return self.transport.send(src, dst, num_bytes, category)
+
+    # ------------------------------------------------------------------
+    # Dispatch styles
+    # ------------------------------------------------------------------
+    def send_control(
+        self,
+        src: int,
+        dst: int,
+        *,
+        reliable: bool = False,
+        message: Optional[object] = None,
+    ) -> Delivery:
+        """Dispatch one control-sized message."""
+        return self.send(
+            src,
+            dst,
+            CONTROL_MESSAGE_BYTES,
+            TrafficCategory.CONTROL,
+            reliable=reliable,
+            message=message,
+        )
+
+    def send_document(
+        self,
+        src: int,
+        dst: int,
+        document_bytes: int,
+        category: TrafficCategory,
+        *,
+        reliable: bool = False,
+        message: Optional[object] = None,
+    ) -> Delivery:
+        """Dispatch a document body plus protocol header."""
+        if document_bytes <= 0:
+            raise ValueError(f"document_bytes must be > 0, got {document_bytes}")
+        return self.send(
+            src,
+            dst,
+            document_bytes + TRANSFER_HEADER_BYTES,
+            category,
+            reliable=reliable,
+            message=message,
+        )
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        num_bytes: int,
+        category: TrafficCategory,
+        *,
+        reliable: bool = False,
+        message: Optional[object] = None,
+    ) -> Delivery:
+        """Dispatch one message; ``message`` is traced on delivery.
+
+        Only *reliable* dispatches wait for acknowledgement: a lost
+        best-effort message costs nothing in sender latency and ticks no
+        timeout counter (fire-and-forget), while every lost reliable
+        attempt costs the policy's timeout plus the retransmission backoff.
+        """
+        policy = self.retry_policy
+        retrying = reliable and policy is not None
+        attempts = policy.max_attempts if retrying and policy is not None else 1
+        latency = 0.0
+        for attempt in range(attempts):
+            if attempt > 0:
+                assert policy is not None  # attempts > 1 implies a policy
+                self.stats.retries += 1
+                latency += policy.backoff_minutes(attempt - 1)
+            leg = self._attempt(src, dst, num_bytes, category)
+            if leg is not None:
+                if message is not None:
+                    self.trace.emit(message)
+                return Delivery(True, latency + leg, attempt + 1)
+            if retrying and policy is not None:
+                self.stats.timeouts += 1
+                latency += policy.timeout_minutes
+        return Delivery(False, latency, attempts)
+
+    def send_forced_document(
+        self,
+        src: int,
+        dst: int,
+        document_bytes: int,
+        category: TrafficCategory,
+        *,
+        message: Optional[object] = None,
+    ) -> float:
+        """Reliably dispatch a document, forcing delivery past the budget.
+
+        Returns the accumulated latency; the message *always* arrives.
+        """
+        delivery = self.send_document(
+            src, dst, document_bytes, category, reliable=True, message=message
+        )
+        if delivery.ok:
+            return delivery.latency
+        self.stats.forced_deliveries += 1
+        return delivery.latency + self._bare(
+            src, dst, document_bytes + TRANSFER_HEADER_BYTES, category
+        )
+
+    def send_system(
+        self, src: int, dst: int, num_bytes: int, category: TrafficCategory
+    ) -> float:
+        """Dispatch infrastructure-plane traffic (no fault middleware)."""
+        return self._bare(src, dst, num_bytes, category)
+
+    def send_system_control(self, src: int, dst: int) -> float:
+        """One control-sized system-plane message."""
+        return self._bare(
+            src, dst, CONTROL_MESSAGE_BYTES, TrafficCategory.CONTROL
+        )
+
+    def request_response(
+        self,
+        src: int,
+        dst: int,
+        hops: int,
+        *,
+        on_request_delivered: Optional[Callable[[], None]] = None,
+        request: Optional[object] = None,
+    ) -> Delivery:
+        """A control-sized RPC: ``hops`` request legs plus one response leg.
+
+        The whole RPC retries as a unit under the attached retry policy.
+        ``on_request_delivered`` fires on every attempt whose request legs
+        all arrive — even if the response is then lost — mirroring a real
+        server that does its work before its reply goes missing (this is
+        how beacon load counters tick under loss). ``request`` is traced at
+        the same point.
+        """
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
+        latency = 0.0
+        for attempt in range(attempts):
+            if attempt > 0:
+                assert policy is not None
+                self.stats.retries += 1
+                latency += policy.backoff_minutes(attempt - 1)
+            delivered = True
+            for _ in range(hops):
+                leg = self._attempt(
+                    src, dst, CONTROL_MESSAGE_BYTES, TrafficCategory.CONTROL
+                )
+                if leg is None:
+                    delivered = False
+                    break
+                latency += leg
+            if delivered:
+                if on_request_delivered is not None:
+                    on_request_delivered()
+                if request is not None:
+                    self.trace.emit(request)
+                response = self._attempt(
+                    dst, src, CONTROL_MESSAGE_BYTES, TrafficCategory.CONTROL
+                )
+                if response is None:
+                    delivered = False
+                else:
+                    latency += response
+            if delivered:
+                return Delivery(True, latency, attempt + 1)
+            if policy is not None:
+                self.stats.timeouts += 1
+                latency += policy.timeout_minutes
+        return Delivery(False, latency, attempts)
+
+    def __repr__(self) -> str:
+        middleware = "faults" if self.faults is not None else "none"
+        return (
+            f"MessageFabric(transport={self.transport!r}, "
+            f"middleware={middleware}, stats={self.stats!r})"
+        )

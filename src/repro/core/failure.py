@@ -24,10 +24,13 @@ repairs so experiments can quantify the cost of laziness.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.directory import DIRECTORY_ENTRY_BYTES
 from repro.network.bandwidth import TrafficCategory
+
+if TYPE_CHECKING:
+    from repro.core.cloud import CacheCloud
 
 Entry = Tuple[int, int, Set[int]]
 
@@ -38,10 +41,11 @@ class FailureResilienceManager:
     Operates on the cloud's rings/beacons through a narrow surface so it can
     be unit-tested with fakes. ``cloud`` must expose ``assigner`` (a
     :class:`~repro.core.hashing.DynamicHashAssigner`), ``beacons``,
-    ``caches``, and ``transport``.
+    ``caches``, and ``fabric`` (replica shipments ride the system plane of
+    the :class:`~repro.core.fabric.MessageFabric`).
     """
 
-    def __init__(self, cloud) -> None:
+    def __init__(self, cloud: "CacheCloud") -> None:
         self._cloud = cloud
         #: cache_id -> (buddy holding the replica, last synced snapshot).
         #: The holder matters: a replica physically lives at the buddy, so
@@ -84,7 +88,7 @@ class FailureResilienceManager:
                 continue
             snapshot = beacon.directory.snapshot()
             self._replicas[cache_id] = (buddy, snapshot)
-            self._cloud.transport.send(
+            self._cloud.fabric.send_system(
                 cache_id,
                 buddy,
                 max(1, len(snapshot)) * DIRECTORY_ENTRY_BYTES,
@@ -169,7 +173,7 @@ class FailureResilienceManager:
                 entries.extend(beacon.directory.extract_range(span_lo, span_hi))
             if entries:
                 target_beacon.directory.ingest(entries)
-                cloud.transport.send(
+                cloud.fabric.send_system(
                     other_id,
                     cache_id,
                     len(entries) * DIRECTORY_ENTRY_BYTES,

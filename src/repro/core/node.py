@@ -1,0 +1,448 @@
+"""The requester-side protocol role: one cache node of the cloud.
+
+:class:`CacheNode` wraps one :class:`~repro.edgecache.cache.EdgeCache`
+with the message protocols the requester side of the paper speaks:
+collaborative miss handling (lookup at the beacon point, peer transfer or
+origin fetch), the placement decision that ends every retrieval, holder
+registration, and eviction notices. The no-cooperation baseline
+(:meth:`CacheNode.fetch_direct`) lives here too — it is the same node
+talking only to the origin.
+
+There is exactly ONE implementation of each protocol. Fault behaviour —
+loss, retries, timeouts, forced deliveries — is a property of the
+:class:`~repro.core.fabric.MessageFabric` the node dispatches through, not
+of this code: with no injector attached every dispatch succeeds on its
+first attempt and the failure branches below are simply never taken.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.config import PlacementScheme
+from repro.core.protocol import (
+    DocumentTransfer,
+    EvictionNotice,
+    HolderRegistration,
+    LookupRequest,
+    LookupResponse,
+)
+from repro.core.utility import PlacementContext
+from repro.edgecache.cache import EdgeCache
+from repro.network.bandwidth import TrafficCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.cloud import CacheCloud
+
+#: Simulated minutes -> reported milliseconds.
+MINUTES_TO_MS = 60_000.0
+
+
+class RequestOutcome(enum.Enum):
+    """How a client request was ultimately served."""
+
+    LOCAL_HIT = "local_hit"
+    CLOUD_HIT = "cloud_hit"  # retrieved from a peer cache in the cloud
+    ORIGIN_FETCH = "origin_fetch"  # group miss
+    # Cooperative path abandoned after exhausting the retry budget.
+    CLOUD_TIMEOUT_ORIGIN_FALLBACK = "cloud_timeout_origin_fallback"
+    # No live beacon point could be found for the document.
+    BEACON_DOWN_ORIGIN_FALLBACK = "beacon_down_origin_fallback"
+
+
+@dataclass
+class RequestResult:
+    """Outcome + client-perceived latency of one request."""
+
+    outcome: RequestOutcome
+    latency_ms: float
+    served_by: int  # cache id, or the origin's node id
+
+
+class CacheNode:
+    """Requester-side protocol behaviour for one edge cache."""
+
+    def __init__(self, cloud: "CacheCloud", cache: EdgeCache) -> None:
+        self._cloud = cloud
+        self.cache = cache
+
+    @property
+    def cache_id(self) -> int:
+        """The wrapped cache's id."""
+        return self.cache.cache_id
+
+    # ------------------------------------------------------------------
+    # Collaborative miss handling (paper §2.1)
+    # ------------------------------------------------------------------
+    def serve_miss(self, doc_id: int, now: float) -> RequestResult:
+        """Consult the beacon point; retrieve from a peer or the origin."""
+        cloud = self._cloud
+        fabric = cloud.fabric
+        cache = self.cache
+        cache_id = cache.cache_id
+        document = cloud.corpus[doc_id]
+        size = document.size_bytes
+        version = cloud.origin.version_of(doc_id)
+        irh = cloud.doc_irh(doc_id)
+
+        beacon_id = cloud.routable_beacon(doc_id)
+        if beacon_id is None:
+            cloud.beacon_unreachable += 1
+            return self.origin_fallback(
+                doc_id, size, now,
+                RequestOutcome.BEACON_DOWN_ORIGIN_FALLBACK, 0.0,
+            )
+        beacon_role = cloud.beacon_roles[beacon_id]
+        beacon_state = beacon_role.state
+        hops = cloud.doc_hops(doc_id)
+        # Lookup RPC (possibly multi-hop for consistent hashing). The load
+        # counter ticks on every attempt whose request legs arrive — the
+        # beacon did its work even if its response then went missing.
+        request: Optional[LookupRequest] = None
+        if fabric.trace.enabled:
+            request = LookupRequest(cache_id, beacon_id, doc_id)
+        lookup = fabric.request_response(
+            cache_id,
+            beacon_id,
+            hops,
+            on_request_delivered=lambda: beacon_state.record_lookup(irh),
+            request=request,
+        )
+        if not lookup.ok:
+            self._cloud.fault_origin_fallbacks += 1
+            return self.origin_fallback(
+                doc_id, size, now,
+                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK, lookup.latency,
+            )
+
+        holder_id = beacon_role.answer_lookup(doc_id, cache_id, version)
+        if fabric.trace.enabled:
+            # Only built under capture: the frozenset copy of the holder set
+            # is pure instrumentation and must not tax the hot loop.
+            fabric.emit(
+                LookupResponse(
+                    beacon_id,
+                    cache_id,
+                    doc_id,
+                    frozenset(beacon_state.directory.holders(doc_id)),
+                )
+            )
+
+        if holder_id is not None:
+            transfer = fabric.send_document(
+                holder_id,
+                cache_id,
+                size,
+                TrafficCategory.PEER_TRANSFER,
+                reliable=True,
+                message=self._transfer_message(
+                    holder_id, cache_id, doc_id, size,
+                    TrafficCategory.PEER_TRANSFER,
+                ),
+            )
+            if not transfer.ok:
+                # The peer copy never arrived; degrade to the origin.
+                cloud.fault_origin_fallbacks += 1
+                return self.origin_fallback(
+                    doc_id, size, now,
+                    RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
+                    lookup.latency + transfer.latency,
+                )
+            # Serving a peer refreshes the holder's recency for the document.
+            cloud.caches[holder_id].storage.access(doc_id, now)
+            cache.stats.cloud_hits += 1
+            outcome = RequestOutcome.CLOUD_HIT
+            served_by = holder_id
+            transfer_latency = transfer.latency
+        else:
+            cache.stats.origin_fetches += 1
+            outcome = RequestOutcome.ORIGIN_FETCH
+            if (
+                cloud.config.placement is PlacementScheme.BEACON
+                and cache_id != beacon_id
+            ):
+                # Beacon-point placement: the copy must land at the beacon,
+                # so the fetch is routed through it.
+                return self._beacon_placed_fetch(
+                    doc_id, size, version, now, beacon_id, lookup.latency
+                )
+            cloud.origin.serve_fetch(doc_id)
+            transfer_latency = fabric.send_forced_document(
+                cloud.origin.node_id,
+                cache_id,
+                size,
+                TrafficCategory.ORIGIN_FETCH,
+                message=self._transfer_message(
+                    cloud.origin.node_id, cache_id, doc_id, size,
+                    TrafficCategory.ORIGIN_FETCH,
+                ),
+            )
+            served_by = cloud.origin.node_id
+
+        # Placement decision at the requester.
+        ctx = self.placement_context(doc_id, size, now, beacon_id)
+        if cloud.placement.should_store(ctx):
+            self.admit_and_register(doc_id, size, version, now)
+        else:
+            cache.decline()
+        latency_ms = MINUTES_TO_MS * (lookup.latency + transfer_latency)
+        return RequestResult(outcome, latency_ms, served_by)
+
+    def _beacon_placed_fetch(
+        self,
+        doc_id: int,
+        size: int,
+        version: int,
+        now: float,
+        beacon_id: int,
+        lookup_latency: float,
+    ) -> RequestResult:
+        """Beacon-point placement fetch (origin → beacon → requester)."""
+        cloud = self._cloud
+        fabric = cloud.fabric
+        cache_id = self.cache.cache_id
+        cloud.origin.serve_fetch(doc_id)
+        leg_one = fabric.send_document(
+            cloud.origin.node_id,
+            beacon_id,
+            size,
+            TrafficCategory.ORIGIN_FETCH,
+            reliable=True,
+            message=self._transfer_message(
+                cloud.origin.node_id, beacon_id, doc_id, size,
+                TrafficCategory.ORIGIN_FETCH,
+            ),
+        )
+        if not leg_one.ok:
+            cloud.fault_origin_fallbacks += 1
+            return self.origin_fallback(
+                doc_id, size, now,
+                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
+                lookup_latency + leg_one.latency,
+            )
+        cloud.nodes[beacon_id].admit_and_register(doc_id, size, version, now)
+        leg_two = fabric.send_document(
+            beacon_id,
+            cache_id,
+            size,
+            TrafficCategory.PEER_TRANSFER,
+            reliable=True,
+            message=self._transfer_message(
+                beacon_id, cache_id, doc_id, size,
+                TrafficCategory.PEER_TRANSFER,
+            ),
+        )
+        if not leg_two.ok:
+            cloud.fault_origin_fallbacks += 1
+            return self.origin_fallback(
+                doc_id, size, now,
+                RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
+                lookup_latency + leg_one.latency + leg_two.latency,
+            )
+        self.cache.decline()  # the requester never stores under beacon placement
+        latency_ms = MINUTES_TO_MS * (
+            lookup_latency + leg_one.latency + leg_two.latency
+        )
+        return RequestResult(
+            RequestOutcome.ORIGIN_FETCH, latency_ms, cloud.origin.node_id
+        )
+
+    # ------------------------------------------------------------------
+    # Origin paths
+    # ------------------------------------------------------------------
+    def origin_fallback(
+        self,
+        doc_id: int,
+        size: int,
+        now: float,
+        outcome: RequestOutcome,
+        accrued_latency: float,
+    ) -> RequestResult:
+        """Serve from the origin after the cooperative path failed.
+
+        The copy is stored ad hoc but *not* registered with the beacon —
+        the directory was unreachable, which is exactly why we are here.
+        Later lookups repair any resulting staleness.
+        """
+        cloud = self._cloud
+        cache = self.cache
+        cache.stats.origin_fetches += 1
+        cloud.origin.serve_fetch(doc_id)
+        transfer_latency = cloud.fabric.send_forced_document(
+            cloud.origin.node_id,
+            cache.cache_id,
+            size,
+            TrafficCategory.ORIGIN_FETCH,
+            message=self._transfer_message(
+                cloud.origin.node_id, cache.cache_id, doc_id, size,
+                TrafficCategory.ORIGIN_FETCH,
+            ),
+        )
+        version = cloud.origin.version_of(doc_id)
+        evicted = cache.admit(doc_id, size, version, now)
+        if evicted is None:
+            cache.decline()
+        else:
+            for evicted_doc in evicted:
+                self.notify_eviction(evicted_doc)
+        latency_ms = MINUTES_TO_MS * (accrued_latency + transfer_latency)
+        return RequestResult(outcome, latency_ms, cloud.origin.node_id)
+
+    def fetch_direct(self, doc_id: int, now: float) -> RequestResult:
+        """No-cooperation baseline: every miss goes to the origin.
+
+        Both directions of the client fetch are dispatched — a control-sized
+        request out plus the (forced) document back — so the reported
+        round-trip latency and the bytes on the meter describe the same
+        exchange. The document leg is forced for the same reason origin
+        fetches always are: the origin is the last line of service.
+        """
+        cloud = self._cloud
+        fabric = cloud.fabric
+        cache = self.cache
+        size = cloud.origin.serve_fetch(doc_id)
+        request = fabric.send_control(
+            cache.cache_id, cloud.origin.node_id, reliable=True
+        )
+        transfer_latency = fabric.send_forced_document(
+            cloud.origin.node_id,
+            cache.cache_id,
+            size,
+            TrafficCategory.ORIGIN_FETCH,
+            message=self._transfer_message(
+                cloud.origin.node_id, cache.cache_id, doc_id, size,
+                TrafficCategory.ORIGIN_FETCH,
+            ),
+        )
+        cache.stats.origin_fetches += 1
+        version = cloud.origin.version_of(doc_id)
+        cache.admit(doc_id, size, version, now)  # ad hoc local store
+        latency_ms = MINUTES_TO_MS * (request.latency + transfer_latency)
+        return RequestResult(
+            RequestOutcome.ORIGIN_FETCH, latency_ms, cloud.origin.node_id
+        )
+
+    # ------------------------------------------------------------------
+    # Directory maintenance (registration + eviction notices)
+    # ------------------------------------------------------------------
+    def admit_and_register(
+        self, doc_id: int, size: int, version: int, now: float
+    ) -> None:
+        """Store a copy locally and register it with the beacon point."""
+        cloud = self._cloud
+        cache = self.cache
+        cache_id = cache.cache_id
+        evicted = cache.admit(doc_id, size, version, now)
+        if evicted is None:
+            cache.decline()  # did not fit at all
+            return
+        irh = cloud.doc_irh(doc_id)
+        beacon_id = cloud.beacon_for_doc(doc_id)
+        beacon_role = cloud.beacon_roles[beacon_id]
+        if cache_id == beacon_id:
+            beacon_role.accept_registration(doc_id, irh, cache_id)
+        elif not cloud.caches[beacon_id].alive:
+            # Beacon unreachable: the copy stays unregistered and can only
+            # serve local hits until a later registration succeeds.
+            cloud.registrations_lost += 1
+        else:
+            message: Optional[HolderRegistration] = None
+            if cloud.fabric.trace.enabled:
+                message = HolderRegistration(cache_id, beacon_id, doc_id)
+            delivery = cloud.fabric.send_control(
+                cache_id, beacon_id, reliable=True, message=message
+            )
+            if delivery.ok:
+                beacon_role.accept_registration(doc_id, irh, cache_id)
+            else:
+                cloud.registrations_lost += 1
+        for evicted_doc in evicted:
+            self.notify_eviction(evicted_doc)
+
+    def notify_eviction(self, doc_id: int) -> None:
+        """Tell the evicted document's beacon that this cache dropped it.
+
+        Eviction notices are best-effort (no retransmission): a lost one
+        leaves a stale directory entry that the next lookup's holder
+        verification repairs.
+        """
+        cloud = self._cloud
+        cache_id = self.cache.cache_id
+        beacon_id = cloud.beacon_for_doc(doc_id)
+        beacon_role = cloud.beacon_roles[beacon_id]
+        if cache_id == beacon_id:
+            beacon_role.accept_eviction(doc_id, cache_id)
+            return
+        if not cloud.caches[beacon_id].alive:
+            cloud.eviction_notices_lost += 1
+            return
+        message: Optional[EvictionNotice] = None
+        if cloud.fabric.trace.enabled:
+            message = EvictionNotice(cache_id, beacon_id, doc_id)
+        delivery = cloud.fabric.send_control(
+            cache_id, beacon_id, reliable=False, message=message
+        )
+        if not delivery.ok:
+            cloud.eviction_notices_lost += 1
+            return
+        beacon_role.accept_eviction(doc_id, cache_id)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def placement_context(
+        self, doc_id: int, size: int, now: float, beacon_id: int
+    ) -> PlacementContext:
+        """Everything the placement policy needs for one store decision."""
+        cloud = self._cloud
+        cache = self.cache
+        holders = cloud.beacons[beacon_id].directory.holders(doc_id)
+        holders.discard(cache.cache_id)
+        residences = [
+            cloud.caches[h].storage.expected_residence(now)
+            for h in holders
+            if cloud.caches[h].alive
+        ]
+        finite = [r for r in residences if r is not None]
+        # An existing holder with no contention keeps its copy indefinitely;
+        # only when every holder is under contention is the minimum finite.
+        min_residence: Optional[float]
+        if holders and len(finite) == len(residences) and finite:
+            min_residence = min(finite)
+        else:
+            min_residence = None
+        update_tracker = cloud._update_rates.get(doc_id)
+        return PlacementContext(
+            cache_id=cache.cache_id,
+            doc_id=doc_id,
+            size_bytes=size,
+            now=now,
+            beacon_id=beacon_id,
+            existing_holders=frozenset(holders),
+            local_access_rate=cache.frequencies.rate_of(doc_id, now),
+            cache_mean_rate=cache.frequencies.mean_rate(now),
+            update_rate=update_tracker.rate(now) if update_tracker else 0.0,
+            expected_residence_new=cache.storage.expected_residence(now),
+            min_residence_existing=min_residence,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _transfer_message(
+        self,
+        src: int,
+        dst: int,
+        doc_id: int,
+        size: int,
+        category: TrafficCategory,
+    ) -> Optional[DocumentTransfer]:
+        """A traceable transfer record, or ``None`` when capture is off."""
+        if not self._cloud.fabric.trace.enabled:
+            return None
+        return DocumentTransfer(src, dst, doc_id, size, category.value)
+
+    def __repr__(self) -> str:
+        return f"CacheNode(cache={self.cache!r})"

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import FrozenSet, List, Tuple
 
 from repro.core.directory import DIRECTORY_ENTRY_BYTES
-from repro.network.transport import CONTROL_MESSAGE_BYTES
+from repro.network.transport import CONTROL_MESSAGE_BYTES, TRANSFER_HEADER_BYTES
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,51 @@ class UpdatePush:
     doc_id: int
     version: int
     body_bytes: int
+
+
+@dataclass(frozen=True)
+class DocumentTransfer:
+    """A document body moving between two nodes (peer, origin, or update).
+
+    ``purpose`` is the :attr:`~repro.network.bandwidth.TrafficCategory.value`
+    the transfer was charged under, so traces can distinguish a peer
+    transfer from an origin fetch without consulting the meter.
+    """
+
+    src: int
+    dst: int
+    doc_id: int
+    body_bytes: int
+    purpose: str
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: body plus the per-transfer protocol header."""
+        return self.body_bytes + TRANSFER_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class HolderRegistration:
+    """Cache -> beacon point: "I now hold document ``doc_id``"."""
+
+    holder: int
+    beacon: int
+    doc_id: int
+    size_bytes: int = CONTROL_MESSAGE_BYTES
+
+
+@dataclass(frozen=True)
+class EvictionNotice:
+    """Cache -> beacon point: "I dropped document ``doc_id``".
+
+    Best-effort by design (no retransmission): a lost notice leaves a stale
+    directory entry that the next lookup's holder verification repairs.
+    """
+
+    holder: int
+    beacon: int
+    doc_id: int
+    size_bytes: int = CONTROL_MESSAGE_BYTES
 
 
 @dataclass(frozen=True)

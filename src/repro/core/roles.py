@@ -1,0 +1,220 @@
+"""Server-side protocol roles: the beacon point and the origin facade.
+
+The cache-cloud protocols have three message-speaking parties. The
+requester side lives in :class:`repro.core.node.CacheNode`; this module
+holds the other two:
+
+* :class:`BeaconRole` — the per-document directory authority (paper §2.2):
+  answers lookups (with holder verification and lazy directory repair),
+  accepts holder registrations and eviction notices, ticks the IrH load
+  counters that drive sub-range determination, and fans updates out to the
+  document's holders.
+* :class:`OriginRole` — the cloud-facing facade over the shared
+  :class:`~repro.network.origin.OriginServer`: serves group-miss fetches
+  and, when no live beacon point exists (or cooperation is off), refreshes
+  every holding cache individually.
+
+All messaging goes through the cloud's single
+:class:`~repro.core.fabric.MessageFabric`, so loss/retry behaviour and byte
+accounting are fabric properties, not role code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.beacon import BeaconState
+from repro.core.protocol import UpdateNotice, UpdatePush
+from repro.network.bandwidth import TrafficCategory
+from repro.network.origin import OriginServer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.cloud import CacheCloud
+
+
+class BeaconRole:
+    """Beacon-point protocol behaviour for one cache.
+
+    Wraps the cache's :class:`~repro.core.beacon.BeaconState` (directory +
+    load counters, which stay a plain data object for tests and the audit
+    layer) with the message protocols the role speaks.
+    """
+
+    def __init__(self, cloud: "CacheCloud", state: BeaconState) -> None:
+        self._cloud = cloud
+        self.state = state
+
+    @property
+    def beacon_id(self) -> int:
+        """The hosting cache's id."""
+        return self.state.cache_id
+
+    # ------------------------------------------------------------------
+    # Lookup answering
+    # ------------------------------------------------------------------
+    def answer_lookup(
+        self, doc_id: int, requester: int, version: int
+    ) -> Optional[int]:
+        """Choose a live, fresh holder; repair stale directory entries.
+
+        Preference order: nearest holder by transport latency (all ties
+        break toward the lowest cache id for determinism).
+        """
+        cloud = self._cloud
+        candidates = self.state.directory.holders(doc_id)
+        candidates.discard(requester)
+        live: List[int] = []
+        for holder in sorted(candidates):
+            holder_cache = cloud.caches[holder]
+            if holder_cache.alive and holder_cache.holds_fresh(doc_id, version):
+                live.append(holder)
+            else:
+                # Directory entry out of date (failure or stale replica).
+                self.state.directory.remove_holder(doc_id, holder)
+                cloud.directory_repairs += 1
+        if not live:
+            return None
+        topology = cloud.transport.topology
+        if topology is None:
+            return live[0]
+        return min(
+            live,
+            key=lambda h: (cloud.transport.latency_minutes(h, requester), h),
+        )
+
+    # ------------------------------------------------------------------
+    # Directory bookkeeping (invoked by delivered protocol messages)
+    # ------------------------------------------------------------------
+    def accept_registration(self, doc_id: int, irh: int, holder: int) -> None:
+        """Record ``holder`` as holding ``doc_id``."""
+        self.state.directory.add_holder(doc_id, irh, holder)
+
+    def accept_eviction(self, doc_id: int, holder: int) -> None:
+        """Remove ``holder`` from the document's holder set."""
+        self.state.directory.remove_holder(doc_id, holder)
+
+    # ------------------------------------------------------------------
+    # Cooperative update propagation (paper §2.2)
+    # ------------------------------------------------------------------
+    def propagate_update(
+        self, doc_id: int, version: int, size: int, now: float
+    ) -> int:
+        """One server→beacon transfer, fanned out in-cloud to holders.
+
+        Returns the number of holders refreshed. A lost server→beacon body
+        leaves *every* holder stale; a lost fan-out push leaves that one
+        holder stale. Both are detected by the version check on the
+        holder's next request and repaired there.
+        """
+        cloud = self._cloud
+        fabric = cloud.fabric
+        beacon_id = self.beacon_id
+        irh = cloud.doc_irh(doc_id)
+        holders = [
+            h
+            for h in sorted(self.state.directory.holders(doc_id))
+            if cloud.caches[h].alive and cloud.caches[h].holds(doc_id)
+        ]
+        carries_body = bool(holders)
+        if fabric.trace.enabled:
+            fabric.emit(
+                UpdateNotice(doc_id, version, beacon_id, carries_body, size)
+            )
+        cloud.origin.note_update_message(doc_id)
+        origin_id = cloud.origin.node_id
+        if not carries_body:
+            # Nobody holds the document: a bare invalidation notice suffices.
+            notice = fabric.send_control(origin_id, beacon_id, reliable=True)
+            if notice.ok:
+                self.state.record_update(irh)
+            return 0
+        body = fabric.send_document(
+            origin_id,
+            beacon_id,
+            size,
+            TrafficCategory.UPDATE_SERVER_TO_BEACON,
+            reliable=True,
+        )
+        if not body.ok:
+            # The fresh body never reached the beacon: every holder is now
+            # stale until its next request triggers the repair path.
+            cloud.update_pushes_lost += len(holders)
+            return 0
+        self.state.record_update(irh)
+        refreshed = 0
+        for holder in holders:
+            if holder != beacon_id:
+                push = fabric.send_document(
+                    beacon_id,
+                    holder,
+                    size,
+                    TrafficCategory.UPDATE_FANOUT,
+                    reliable=True,
+                )
+                if not push.ok:
+                    cloud.update_pushes_lost += 1
+                    continue
+                if fabric.trace.enabled:
+                    fabric.emit(
+                        UpdatePush(beacon_id, holder, doc_id, version, size)
+                    )
+            cloud.caches[holder].apply_update(doc_id, version, now, size_bytes=size)
+            refreshed += 1
+        return refreshed
+
+    def __repr__(self) -> str:
+        return f"BeaconRole(state={self.state!r})"
+
+
+class OriginRole:
+    """Cloud-facing facade over the shared origin server.
+
+    The underlying :class:`OriginServer` stays a pure version/counter model
+    (it may be shared by many clouds in an edge network); this facade binds
+    it to *one* cloud's fabric for the message protocols it participates in.
+    """
+
+    def __init__(self, cloud: "CacheCloud", server: OriginServer) -> None:
+        self._cloud = cloud
+        self.server = server
+
+    @property
+    def node_id(self) -> int:
+        """The origin's node id in the topology."""
+        return self.server.node_id
+
+    # ------------------------------------------------------------------
+    # Degraded update path (no live beacon, or cooperation off)
+    # ------------------------------------------------------------------
+    def refresh_holders(
+        self, doc_id: int, version: int, size: int, now: float
+    ) -> int:
+        """Refresh every holding cache individually from the origin.
+
+        Serves both the no-cooperation baseline and the degraded update
+        path when no live beacon exists. Each refresh is a reliable
+        dispatch; a holder whose refresh is lost stays stale (repaired and
+        counted on its next request).
+        """
+        cloud = self._cloud
+        fabric = cloud.fabric
+        refreshed = 0
+        for cache in cloud.caches:
+            if cache.alive and cache.holds(doc_id):
+                self.server.note_update_message(doc_id)
+                push = fabric.send_document(
+                    self.node_id,
+                    cache.cache_id,
+                    size,
+                    TrafficCategory.UPDATE_SERVER_TO_BEACON,
+                    reliable=True,
+                )
+                if not push.ok:
+                    cloud.update_pushes_lost += 1
+                    continue
+                cache.apply_update(doc_id, version, now, size_bytes=size)
+                refreshed += 1
+        return refreshed
+
+    def __repr__(self) -> str:
+        return f"OriginRole(server={self.server!r})"

@@ -47,8 +47,8 @@ from repro.experiments.sweeps import (
 )
 from repro.metrics.loadbalance import improvement_percent
 from repro.metrics.report import Table, format_figure_header
-from repro.workload.documents import Corpus, build_corpus, seed_corpus_rng
-from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
+from repro.workload.documents import Corpus, seed_corpus_rng
+from repro.workload.generator import WorkloadConfig
 from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
 from repro.workload.trace import Trace
 

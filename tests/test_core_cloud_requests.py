@@ -169,6 +169,58 @@ class TestNoCooperation:
         assert all(b.total_load == 0 for b in cloud.beacons.values())
 
 
+class TestNoCooperationAccounting:
+    """Latency and bytes of the origin-direct path describe one exchange.
+
+    Historically this path reported the full round trip to the client but
+    charged only the document direction to the meter; both directions are
+    now dispatched (a control-sized request out, the document back), so the
+    reported latency and the metered bytes agree.
+    """
+
+    def _cloud_with_topology(self, small_corpus):
+        from repro.core.cloud import CacheCloud
+        from repro.core.config import CloudConfig
+        from repro.network.topology import EuclideanTopology
+        from repro.network.transport import Transport
+
+        topology = EuclideanTopology(
+            {0: (0.0, 0.0), 1: (40.0, 0.0), -1: (100.0, 0.0)}
+        )
+        config = CloudConfig(
+            num_caches=2, num_rings=1, intra_gen=100, cooperation=False
+        )
+        return CacheCloud(
+            config, small_corpus, transport=Transport(topology=topology)
+        )
+
+    def test_latency_is_the_full_round_trip(self, small_corpus):
+        cloud = self._cloud_with_topology(small_corpus)
+        result = cloud.handle_request(0, 5, now=1.0)
+        expected_ms = 60_000.0 * cloud.transport.rtt_minutes(
+            cloud.origin.node_id, 0
+        )
+        assert result.latency_ms == pytest.approx(expected_ms)
+        assert expected_ms > 0.0
+
+    def test_both_directions_are_metered(self, small_corpus):
+        from repro.network.transport import (
+            CONTROL_MESSAGE_BYTES,
+            TRANSFER_HEADER_BYTES,
+        )
+
+        cloud = self._cloud_with_topology(small_corpus)
+        cloud.handle_request(0, 5, now=1.0)
+        meter = cloud.transport.meter
+        size = cloud.corpus[5].size_bytes
+        # One control-sized request out, one document (plus header) back.
+        assert meter.bytes_for(TrafficCategory.CONTROL) == CONTROL_MESSAGE_BYTES
+        assert meter.bytes_for(TrafficCategory.ORIGIN_FETCH) == (
+            size + TRANSFER_HEADER_BYTES
+        )
+        assert cloud.transport.messages_attempted == 2
+
+
 class TestStaleCopies:
     def test_stale_copy_refetched(self, cloud_factory):
         cloud = cloud_factory()

@@ -1,0 +1,265 @@
+"""The message fabric: dispatch styles and the zero-fault guarantee.
+
+Two layers of coverage:
+
+1. Unit tests of :class:`~repro.core.fabric.MessageFabric` dispatch styles
+   (best-effort / reliable / forced / system / RPC) against a raw
+   transport and a total-loss injector.
+2. The structural equivalence guarantee behind the protocol-plane
+   refactor: a cloud with a zero-fault injector attached produces a
+   message-for-message identical dispatch log — and identical meter,
+   attempt-ledger, and fabric-stat totals — to a cloud with no injector
+   at all. This upgrades the older "same outcomes and stats" check to
+   "the very same wire messages in the very same order".
+"""
+
+import pytest
+
+from repro.core.fabric import Delivery, DispatchRecord, MessageFabric
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import NO_FAULTS, FaultPlan, RetryPolicy
+from repro.network.bandwidth import TrafficCategory
+from repro.network.transport import (
+    CONTROL_MESSAGE_BYTES,
+    TRANSFER_HEADER_BYTES,
+    Transport,
+)
+from tests.conftest import make_cloud
+
+
+def _fabric(plan=None, **plan_kwargs):
+    """A fabric over a fresh transport, optionally with faults attached."""
+    transport = Transport()
+    fabric = MessageFabric(transport)
+    if plan is not None or plan_kwargs:
+        plan = plan if plan is not None else FaultPlan(**plan_kwargs)
+        fabric.attach_faults(FaultInjector(plan, transport))
+    return fabric
+
+
+class TestAttachValidation:
+    def test_rejects_injector_over_foreign_transport(self):
+        fabric = MessageFabric(Transport())
+        injector = FaultInjector(NO_FAULTS, Transport())
+        with pytest.raises(ValueError):
+            fabric.attach_faults(injector)
+
+    def test_detach_keeps_injector_stats(self):
+        fabric = _fabric(loss_rate=1.0)
+        injector = fabric.faults
+        fabric.send_control(0, 1)
+        fabric.detach_faults()
+        assert fabric.faults is None
+        assert injector.stats.dropped == 1
+        # Post-detach dispatches bypass the (detached) middleware.
+        assert fabric.send_control(0, 1).ok
+
+
+class TestDispatchStyles:
+    def test_fault_free_delivery_is_single_attempt(self):
+        fabric = _fabric()
+        delivery = fabric.send_control(0, 1)
+        assert delivery == Delivery(ok=True, latency=0.0, attempts=1)
+        assert fabric.stats.dispatches == 1
+        assert fabric.stats.retries == 0
+
+    def test_document_dispatch_charges_header(self):
+        fabric = _fabric()
+        fabric.send_document(0, 1, 1000, TrafficCategory.PEER_TRANSFER)
+        meter = fabric.transport.meter
+        assert meter.bytes_for(TrafficCategory.PEER_TRANSFER) == (
+            1000 + TRANSFER_HEADER_BYTES
+        )
+
+    def test_document_dispatch_rejects_empty_body(self):
+        fabric = _fabric()
+        with pytest.raises(ValueError):
+            fabric.send_document(0, 1, 0, TrafficCategory.PEER_TRANSFER)
+
+    def test_lost_best_effort_costs_nothing(self):
+        """Fire-and-forget: no retransmission, no timeout, no latency."""
+        fabric = _fabric(loss_rate=1.0, retry=RetryPolicy(max_attempts=3))
+        delivery = fabric.send_control(0, 1, reliable=False)
+        assert not delivery.ok
+        assert delivery.latency == 0.0
+        assert delivery.attempts == 1
+        assert fabric.stats.timeouts == 0
+        assert fabric.stats.retries == 0
+
+    def test_lost_reliable_pays_timeouts_and_backoff(self):
+        policy = RetryPolicy(max_attempts=3)
+        fabric = _fabric(loss_rate=1.0, retry=policy)
+        delivery = fabric.send_control(0, 1, reliable=True)
+        assert not delivery.ok
+        assert delivery.attempts == 3
+        assert fabric.stats.retries == 2
+        assert fabric.stats.timeouts == 3
+        expected = 3 * policy.timeout_minutes + sum(
+            policy.backoff_minutes(k) for k in range(2)
+        )
+        assert delivery.latency == pytest.approx(expected)
+
+    def test_forced_document_always_arrives(self):
+        fabric = _fabric(loss_rate=1.0, retry=RetryPolicy(max_attempts=2))
+        latency = fabric.send_forced_document(
+            0, 1, 1000, TrafficCategory.ORIGIN_FETCH
+        )
+        assert latency > 0.0  # timeout penalties accrued on the way
+        assert fabric.stats.forced_deliveries == 1
+        # Two faulted attempts plus the out-of-band delivery, all charged.
+        assert fabric.transport.messages_attempted == 3
+        assert fabric.transport.meter.bytes_for(TrafficCategory.ORIGIN_FETCH) == (
+            3 * (1000 + TRANSFER_HEADER_BYTES)
+        )
+
+    def test_system_plane_bypasses_fault_middleware(self):
+        fabric = _fabric(loss_rate=1.0)
+        fabric.send_system(0, 1, 2048, TrafficCategory.DIRECTORY_MIGRATION)
+        fabric.send_system_control(0, 1)
+        # Charged and counted, but the injector never saw either message.
+        assert fabric.transport.messages_attempted == 2
+        assert fabric.faults.stats.dropped == 0
+        assert fabric.faults.stats.bytes_attempted == 0
+
+    def test_traced_message_emitted_only_on_delivery(self):
+        fabric = _fabric(loss_rate=1.0)
+        fabric.trace.enabled = True
+        fabric.send_control(0, 1, message="lost-probe")
+        assert fabric.trace.messages == []
+        fabric.detach_faults()
+        fabric.send_control(0, 1, message="delivered-probe")
+        assert fabric.trace.messages == ["delivered-probe"]
+
+
+class _ResponseDropInjector(FaultInjector):
+    """Drops every message on one directed edge; delivers the rest."""
+
+    def __init__(self, plan, transport, drop_edge):
+        super().__init__(plan, transport)
+        self._drop_edge = drop_edge
+
+    def deliver(self, src, dst, num_bytes, category):
+        latency = self.transport.send(src, dst, num_bytes, category)
+        if (src, dst) == self._drop_edge:
+            return None
+        return latency
+
+
+class TestRequestResponse:
+    def test_fault_free_rpc_charges_hops_plus_response(self):
+        fabric = _fabric()
+        fired = []
+        delivery = fabric.request_response(
+            0, 1, 3, on_request_delivered=lambda: fired.append(True)
+        )
+        assert delivery.ok
+        assert fired == [True]
+        assert fabric.transport.messages_attempted == 4  # 3 out + 1 back
+        assert fabric.transport.meter.bytes_for(TrafficCategory.CONTROL) == (
+            4 * CONTROL_MESSAGE_BYTES
+        )
+
+    def test_server_work_happens_even_when_response_lost(self):
+        """The callback fires per attempt whose request legs all arrive —
+        a real server does its work before its reply goes missing."""
+        transport = Transport()
+        fabric = MessageFabric(transport)
+        policy = RetryPolicy(max_attempts=2)
+        fabric.attach_faults(
+            _ResponseDropInjector(
+                FaultPlan(retry=policy), transport, drop_edge=(1, 0)
+            )
+        )
+        fired = []
+        delivery = fabric.request_response(
+            0, 1, 1, on_request_delivered=lambda: fired.append(True)
+        )
+        assert not delivery.ok
+        assert fired == [True, True]  # both attempts reached the server
+        assert fabric.stats.timeouts == 2
+        assert fabric.stats.retries == 1
+
+    def test_lost_request_leg_never_reaches_server(self):
+        fabric = _fabric(loss_rate=1.0, retry=RetryPolicy(max_attempts=2))
+        fired = []
+        delivery = fabric.request_response(
+            0, 1, 2, on_request_delivered=lambda: fired.append(True)
+        )
+        assert not delivery.ok
+        assert fired == []
+
+
+def _drive(cloud, steps=60):
+    """A deterministic request/update mix exercising every protocol."""
+    results = []
+    for i in range(steps):
+        cache_id = i % len(cloud.caches)
+        doc_id = (7 * i) % len(cloud.corpus)
+        result = cloud.handle_request(cache_id, doc_id, now=float(i))
+        results.append((result.outcome, result.latency_ms, result.served_by))
+        if i % 5 == 4:
+            cloud.handle_update((3 * i) % len(cloud.corpus), now=float(i))
+        if i % 20 == 19:
+            cloud.run_cycle(now=float(i))
+    return results
+
+
+class TestZeroFaultStructuralEquivalence:
+    """A zero-fault injector is indistinguishable on the wire from none."""
+
+    def test_dispatch_log_is_message_for_message_identical(self, small_corpus):
+        bare = make_cloud(small_corpus)
+        instrumented = make_cloud(small_corpus)
+        instrumented.attach_faults(
+            FaultInjector(NO_FAULTS, instrumented.transport)
+        )
+        bare_log = bare.fabric.capture_dispatches()
+        faulty_log = instrumented.fabric.capture_dispatches()
+
+        assert _drive(bare) == _drive(instrumented)
+
+        assert len(bare_log) > 0
+        assert bare_log == faulty_log
+        assert all(isinstance(r, DispatchRecord) for r in bare_log)
+
+    def test_meter_and_ledger_totals_identical(self, small_corpus):
+        bare = make_cloud(small_corpus)
+        instrumented = make_cloud(small_corpus)
+        instrumented.attach_faults(
+            FaultInjector(NO_FAULTS, instrumented.transport)
+        )
+        _drive(bare)
+        _drive(instrumented)
+
+        assert bare.transport.meter == instrumented.transport.meter
+        assert (
+            bare.transport.messages_attempted
+            == instrumented.transport.messages_attempted
+        )
+        assert (
+            bare.transport.bytes_attempted
+            == instrumented.transport.bytes_attempted
+        )
+        assert bare.fabric.stats == instrumented.fabric.stats
+        assert instrumented.retries == 0
+        assert instrumented.timeouts == 0
+        assert instrumented.forced_deliveries == 0
+
+    def test_zero_fault_plan_makes_no_random_draws(self, small_corpus):
+        """NO_FAULTS must never consult the RNG, or seeds would diverge."""
+        cloud = make_cloud(small_corpus)
+        injector = FaultInjector(NO_FAULTS, cloud.transport, seed=99)
+        before = injector._rng.getstate()
+        cloud.attach_faults(injector)
+        _drive(cloud)
+        assert injector._rng.getstate() == before
+
+    def test_capture_can_be_stopped(self, small_corpus):
+        cloud = make_cloud(small_corpus)
+        log = cloud.fabric.capture_dispatches()
+        cloud.handle_request(0, 5, now=1.0)
+        seen = len(log)
+        assert seen > 0
+        cloud.fabric.stop_dispatch_capture()
+        cloud.handle_request(1, 5, now=2.0)
+        assert len(log) == seen

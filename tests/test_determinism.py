@@ -6,7 +6,7 @@ to match exactly (not approximately) — any hidden global RNG, dict-order
 dependence, or wall-clock leak fails them.
 """
 
-from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.core.config import CloudConfig, PlacementScheme
 from repro.experiments.runner import run_experiment
 from repro.workload.documents import build_corpus
 from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig

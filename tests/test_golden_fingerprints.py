@@ -1,0 +1,52 @@
+"""Golden-fingerprint lock on the experiment pipeline.
+
+The hashes below were captured on the pre-refactor protocol code (the
+forked ``_serve_miss_with_faults`` / ``_serve_miss_cooperatively``
+implementation, commit 4e9eab7) and lock the unified protocol plane to
+value-identity: every outcome, latency, byte count, and resilience counter
+of these three pipelines feeds the canonical-JSON hash, so any behavioural
+drift in the miss path, the update path, fault handling, or churn
+scheduling changes a fingerprint.
+
+If a fingerprint breaks, the refactor-safety contract is: either the
+change is an intentional, documented behavioural change (re-capture the
+hash and say why in the commit), or it is a regression (fix it). Never
+re-capture to silence a diff you cannot explain.
+
+The configs are TINY on purpose (~1-2 s each); the full-scale figures are
+exercised by ``benchmarks/``.
+"""
+
+from repro.experiments.figures import TINY_SCALE, figure3, figure6
+from repro.experiments.reporting import fingerprint
+from repro.experiments.resilience import resilience_sweep
+
+#: Captured on pre-refactor code; see module docstring before touching.
+GOLDEN_FIGURE3 = (
+    "e011005ac70243d6284d2689a3312c1e11b7d71165137874b3a245f89eb79e28"
+)
+GOLDEN_FIGURE6 = (
+    "c25dbd4daecdb50dbfdbcbe8a9ca4b5b7f88fb7e0f8bb8a5d6ade106a6b3bcd3"
+)
+GOLDEN_RESILIENCE = (
+    "46180117cf904e758b50903e4e501de9a603eae8677719367973c609b7516d9e"
+)
+
+
+class TestGoldenFingerprints:
+    def test_figure3_fingerprint_unchanged(self):
+        result = figure3(TINY_SCALE, jobs=1)
+        assert fingerprint(result) == GOLDEN_FIGURE3
+
+    def test_figure6_fingerprint_unchanged(self):
+        result = figure6(TINY_SCALE, alphas=(0.0, 0.9), jobs=1)
+        assert fingerprint(result) == GOLDEN_FIGURE6
+
+    def test_resilience_fingerprint_unchanged(self):
+        result = resilience_sweep(
+            TINY_SCALE,
+            loss_rates=(0.0, 0.2),
+            churn_rates=(0.0, 0.05),
+            jobs=1,
+        )
+        assert fingerprint(result) == GOLDEN_RESILIENCE
