@@ -8,6 +8,8 @@ Usage::
     python -m repro extension consistency
     python -m repro trace --documents 500 --duration 30 --out trace.txt
     python -m repro run --caches 10 --rings 5 --placement utility
+    python -m repro run --telemetry telemetry.json
+    python -m repro observe --duration 20 --out telemetry.json
     python -m repro resilience --scale tiny --loss 0 0.2 0.5 --churn 0 0.05
     python -m repro audit --seeds 1 2 --loss 0.15 0.3 --churn 0 0.1
     python -m repro compare old.json new.json --tolerance 0.1
@@ -148,6 +150,39 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=60.0)
     run.add_argument("--cycle", type=float, default=15.0)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--telemetry", nargs="?", const="telemetry.json", default=None,
+        metavar="FILE",
+        help="attach the observability registry and write its JSON artifact "
+        "(span trees + per-category latency/bytes histograms) to FILE "
+        "(default: telemetry.json)",
+    )
+
+    obs = subparsers.add_parser(
+        "observe",
+        help="run a small traced workload on a clustered topology and "
+        "report span trees plus per-category latency histograms",
+    )
+    obs.add_argument("--documents", type=int, default=300)
+    obs.add_argument("--caches", type=int, default=8)
+    obs.add_argument("--rings", type=int, default=4)
+    obs.add_argument("--request-rate", type=float, default=60.0,
+                     help="requests per minute per cache")
+    obs.add_argument("--update-rate", type=float, default=30.0,
+                     help="updates per minute")
+    obs.add_argument("--alpha", type=float, default=0.9, help="Zipf parameter")
+    obs.add_argument("--duration", type=float, default=20.0, help="minutes")
+    obs.add_argument("--cycle", type=float, default=10.0)
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument(
+        "--span-limit", type=int, default=10_000,
+        help="maximum spans retained by the recorder",
+    )
+    obs.add_argument("--out", help="write the telemetry JSON artifact here")
+    obs.add_argument(
+        "--json", action="store_true",
+        help="print the canonical JSON artifact instead of the text report",
+    )
 
     res = subparsers.add_parser(
         "resilience",
@@ -171,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument(
         "--fingerprint", action="store_true",
         help="print a SHA-256 fingerprint of the result (determinism checks)",
+    )
+    res.add_argument(
+        "--telemetry", metavar="FILE", default=None,
+        help="additionally re-run the harshest (loss, churn) sweep point "
+        "serially with the observability registry attached and write its "
+        "JSON artifact to FILE",
     )
 
     aud = subparsers.add_parser(
@@ -294,12 +335,18 @@ def _cmd_run(args) -> int:
         placement=PlacementScheme(args.placement),
         seed=args.seed,
     )
+    telemetry = None
+    if args.telemetry:
+        from repro.observe import Telemetry
+
+        telemetry = Telemetry()
     result = run_experiment(
         config,
         corpus,
         generator.requests(),
         generator.updates(),
         duration=args.duration,
+        telemetry=telemetry,
     )
     stats = result.stats
     print(f"requests={stats.requests} updates={result.updates}")
@@ -309,6 +356,91 @@ def _cmd_run(args) -> int:
           f"peak/mean={result.load_stats.peak_to_mean:.3f}")
     print(f"network={result.network_mb_per_unit:.3f} MB/unit")
     print(f"docs stored per cache={result.docs_stored_percent:.1f}%")
+    if telemetry is not None:
+        from repro.observe import write_json
+
+        write_json(telemetry, args.telemetry)
+        print(f"telemetry: {len(telemetry.spans.spans)} spans, "
+              f"{len(telemetry.histograms)} histograms -> {args.telemetry}")
+    return 0
+
+
+def _cmd_observe(args) -> int:
+    import random
+
+    from repro.network.origin import ORIGIN_NODE_ID, OriginServer
+    from repro.network.topology import EuclideanTopology
+    from repro.network.transport import Transport
+    from repro.core.cloud import CacheCloud
+    from repro.observe import (
+        Telemetry,
+        dump_json,
+        find_tree,
+        render_span_tree,
+        render_summary,
+        span_trees,
+        write_json,
+    )
+
+    corpus = build_corpus(args.documents)
+    generator = SyntheticTraceGenerator(
+        WorkloadConfig(
+            num_documents=args.documents,
+            num_caches=args.caches,
+            request_rate_per_cache=args.request_rate,
+            update_rate=args.update_rate,
+            alpha_requests=args.alpha,
+            duration_minutes=args.duration,
+            seed=args.seed,
+        )
+    )
+    config = CloudConfig(
+        num_caches=args.caches,
+        num_rings=args.rings,
+        cycle_length=args.cycle,
+        seed=args.seed,
+    )
+    # A clustered topology with a far-away origin gives the latency
+    # histograms real shape: peer transfers are cheap, origin fetches are
+    # not, and the span trees show exactly where each request paid.
+    topology = EuclideanTopology.random(
+        args.caches,
+        random.Random(args.seed),
+        extent=100.0,
+        num_clusters=2,
+        cluster_spread=25.0,
+    )
+    topology.add_node(ORIGIN_NODE_ID, (2_000.0, 2_000.0))
+    cloud = CacheCloud(
+        config,
+        corpus,
+        origin=OriginServer(corpus),
+        transport=Transport(topology=topology),
+    )
+    telemetry = Telemetry(max_spans=args.span_limit)
+    run_experiment(
+        config,
+        corpus,
+        generator.requests(),
+        generator.updates(),
+        duration=args.duration,
+        cloud=cloud,
+        telemetry=telemetry,
+    )
+    if args.json:
+        print(dump_json(telemetry))
+    else:
+        print(render_summary(telemetry))
+        example = find_tree(
+            span_trees(telemetry.spans.spans),
+            {"request", "beacon_lookup", "peer_fetch", "placement"},
+        )
+        if example is not None:
+            print("\nexample collaborative miss (times in sim minutes):")
+            print(render_span_tree(example))
+    if args.out:
+        write_json(telemetry, args.out)
+        print(f"telemetry artifact -> {args.out}")
     return 0
 
 
@@ -329,6 +461,23 @@ def _cmd_resilience(args) -> int:
         print(f"archived to {args.out}")
     if args.fingerprint:
         print(f"fingerprint: {fingerprint(result)}")
+    if args.telemetry:
+        from repro.experiments.resilience import instrumented_point
+        from repro.observe import write_json
+
+        loss_rate = max(args.loss)
+        churn_rate = max(args.churn)
+        _, telemetry = instrumented_point(
+            _SCALES[args.scale],
+            loss_rate=loss_rate,
+            churn_rate=churn_rate,
+            seed=args.seed,
+        )
+        write_json(telemetry, args.telemetry)
+        print(
+            f"telemetry for point (loss={loss_rate}, churn={churn_rate}) "
+            f"-> {args.telemetry}"
+        )
     return 1 if result.failures else 0
 
 
@@ -380,6 +529,7 @@ _HANDLERS = {
     "extension": _cmd_extension,
     "trace": _cmd_trace,
     "run": _cmd_run,
+    "observe": _cmd_observe,
     "resilience": _cmd_resilience,
     "audit": _cmd_audit,
     "compare": _cmd_compare,

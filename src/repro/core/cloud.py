@@ -44,7 +44,12 @@ from repro.core.hashing import (
     irh_value,
     ring_index,
 )
-from repro.core.node import CacheNode, RequestOutcome, RequestResult
+from repro.core.node import (
+    MINUTES_TO_MS,
+    CacheNode,
+    RequestOutcome,
+    RequestResult,
+)
 from repro.core.placement import make_placement
 from repro.core.protocol import DirectoryTransfer, ProtocolTrace, RangeAnnouncement
 from repro.core.ring import BeaconRing
@@ -62,6 +67,7 @@ from repro.workload.documents import Corpus
 
 if TYPE_CHECKING:
     from repro.audit.antientropy import AntiEntropyConfig, AntiEntropyProcess
+    from repro.observe.registry import Telemetry
 
 __all__ = ["CacheCloud", "RequestOutcome", "RequestResult"]
 
@@ -165,6 +171,11 @@ class CacheCloud:
         self.eviction_notices_lost = 0
         self.requests_redirected = 0
 
+        #: Optional observability registry (``repro.observe``). ``None``
+        #: keeps every protocol hot path on a single attribute check; the
+        #: roles read this reference, never import the package.
+        self.telemetry: Optional["Telemetry"] = None
+
         # Background repair (repro.audit). ``None`` until attached; an
         # attached-but-disabled process is a strict no-op, so fault-free
         # runs stay value-identical either way.
@@ -217,6 +228,26 @@ class CacheCloud:
     def faults(self) -> Optional[FaultInjector]:
         """The attached fault middleware, or ``None``."""
         return self.fabric.faults
+
+    # ------------------------------------------------------------------
+    # Telemetry (delegates to the fabric for the dispatch-point hook)
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        """Route request/update spans and fabric histograms into ``telemetry``.
+
+        Mirrors :meth:`attach_faults`: attaching changes what is *recorded*,
+        never what the protocols do — same RNG draws, same dispatches, same
+        meter totals (tested in ``tests/test_core_fabric.py``).
+        """
+        self.telemetry = telemetry
+        self.fabric.telemetry = telemetry
+
+    def detach_telemetry(self) -> Optional["Telemetry"]:
+        """Stop recording; returns the detached registry with its data."""
+        telemetry = self.telemetry
+        self.telemetry = None
+        self.fabric.telemetry = None
+        return telemetry
 
     @property
     def retries(self) -> int:
@@ -328,6 +359,29 @@ class CacheCloud:
     # ------------------------------------------------------------------
     def handle_request(self, cache_id: int, doc_id: int, now: float) -> RequestResult:
         """Process one client request arriving at ``cache_id``."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._serve_request(cache_id, doc_id, now)
+        root = telemetry.begin_span("request", now, cache=cache_id, doc=doc_id)
+        try:
+            result = self._serve_request(cache_id, doc_id, now)
+        except BaseException:
+            telemetry.spans.unwind(root, now)
+            raise
+        telemetry.end_span(
+            root,
+            now + result.latency_ms / MINUTES_TO_MS,
+            outcome=result.outcome.value,
+            served_by=result.served_by,
+            latency_ms=result.latency_ms,
+        )
+        telemetry.count("requests." + result.outcome.value)
+        telemetry.observe_request(now, result.latency_ms)
+        return result
+
+    def _serve_request(
+        self, cache_id: int, doc_id: int, now: float
+    ) -> RequestResult:
         cache = self.caches[cache_id]
         if not cache.alive:
             if not self.redirect_on_dead:
@@ -386,6 +440,21 @@ class CacheCloud:
     # ------------------------------------------------------------------
     def handle_update(self, doc_id: int, now: float) -> int:
         """Process one origin-server update; returns holders refreshed."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._apply_update(doc_id, now)
+        root = telemetry.begin_span("update", now, doc=doc_id)
+        try:
+            refreshed = self._apply_update(doc_id, now)
+        except BaseException:
+            telemetry.spans.unwind(root, now)
+            raise
+        # The root's end is widened to cover the propagation children.
+        telemetry.end_span(root, now, refreshed=refreshed)
+        telemetry.count("updates.handled")
+        return refreshed
+
+    def _apply_update(self, doc_id: int, now: float) -> int:
         self.updates_handled += 1
         version = self.origin.publish_update(doc_id)
         tracker = self._update_rates.get(doc_id)

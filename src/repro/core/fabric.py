@@ -47,7 +47,7 @@ Dispatch styles
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.protocol import ProtocolTrace
 from repro.faults.injector import FaultInjector
@@ -58,6 +58,9 @@ from repro.network.transport import (
     TRANSFER_HEADER_BYTES,
     Transport,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime import
+    from repro.observe.registry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -134,6 +137,10 @@ class MessageFabric:
         self.stats = FabricStats()
         #: When not ``None``, every wire attempt is appended here.
         self.dispatch_log: Optional[List[DispatchRecord]] = None
+        #: Optional telemetry sink; every wire attempt records its category,
+        #: bytes, and delivered latency. ``None`` costs one identity check
+        #: per attempt and nothing else (the zero-overhead-when-off seam).
+        self.telemetry: Optional["Telemetry"] = None
 
     # ------------------------------------------------------------------
     # Middleware management
@@ -196,8 +203,14 @@ class MessageFabric:
             )
         self.stats.dispatches += 1
         if self.faults is None:
-            return self.transport.send(src, dst, num_bytes, category)
-        return self.faults.deliver(src, dst, num_bytes, category)
+            latency: Optional[float] = self.transport.send(
+                src, dst, num_bytes, category
+            )
+        else:
+            latency = self.faults.deliver(src, dst, num_bytes, category)
+        if self.telemetry is not None:
+            self.telemetry.record_attempt(category.value, num_bytes, latency)
+        return latency
 
     def _bare(
         self, src: int, dst: int, num_bytes: int, category: TrafficCategory
@@ -212,7 +225,10 @@ class MessageFabric:
                 DispatchRecord(src, dst, num_bytes, category.value)
             )
         self.stats.dispatches += 1
-        return self.transport.send(src, dst, num_bytes, category)
+        latency = self.transport.send(src, dst, num_bytes, category)
+        if self.telemetry is not None:
+            self.telemetry.record_attempt(category.value, num_bytes, latency)
+        return latency
 
     # ------------------------------------------------------------------
     # Dispatch styles

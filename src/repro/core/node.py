@@ -35,6 +35,7 @@ from repro.network.bandwidth import TrafficCategory
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.cloud import CacheCloud
+    from repro.observe.spans import Span
 
 #: Simulated minutes -> reported milliseconds.
 MINUTES_TO_MS = 60_000.0
@@ -103,6 +104,12 @@ class CacheNode:
         request: Optional[LookupRequest] = None
         if fabric.trace.enabled:
             request = LookupRequest(cache_id, beacon_id, doc_id)
+        tel = cloud.telemetry
+        lookup_span: Optional["Span"] = None
+        if tel is not None:
+            lookup_span = tel.begin_span(
+                "beacon_lookup", now, beacon=beacon_id, hops=hops
+            )
         lookup = fabric.request_response(
             cache_id,
             beacon_id,
@@ -110,6 +117,13 @@ class CacheNode:
             on_request_delivered=lambda: beacon_state.record_lookup(irh),
             request=request,
         )
+        if tel is not None and lookup_span is not None:
+            tel.end_span(
+                lookup_span,
+                now + lookup.latency,
+                ok=lookup.ok,
+                attempts=lookup.attempts,
+            )
         if not lookup.ok:
             self._cloud.fault_origin_fallbacks += 1
             return self.origin_fallback(
@@ -131,6 +145,12 @@ class CacheNode:
             )
 
         if holder_id is not None:
+            fetch_start = now + lookup.latency
+            fetch_span: Optional["Span"] = None
+            if tel is not None:
+                fetch_span = tel.begin_span(
+                    "peer_fetch", fetch_start, holder=holder_id, bytes=size
+                )
             transfer = fabric.send_document(
                 holder_id,
                 cache_id,
@@ -142,6 +162,13 @@ class CacheNode:
                     TrafficCategory.PEER_TRANSFER,
                 ),
             )
+            if tel is not None and fetch_span is not None:
+                tel.end_span(
+                    fetch_span,
+                    fetch_start + transfer.latency,
+                    ok=transfer.ok,
+                    attempts=transfer.attempts,
+                )
             if not transfer.ok:
                 # The peer copy never arrived; degrade to the origin.
                 cloud.fault_origin_fallbacks += 1
@@ -169,6 +196,12 @@ class CacheNode:
                     doc_id, size, version, now, beacon_id, lookup.latency
                 )
             cloud.origin.serve_fetch(doc_id)
+            fetch_start = now + lookup.latency
+            fetch_span = None
+            if tel is not None:
+                fetch_span = tel.begin_span(
+                    "origin_fetch", fetch_start, bytes=size
+                )
             transfer_latency = fabric.send_forced_document(
                 cloud.origin.node_id,
                 cache_id,
@@ -179,14 +212,25 @@ class CacheNode:
                     TrafficCategory.ORIGIN_FETCH,
                 ),
             )
+            if tel is not None and fetch_span is not None:
+                tel.end_span(fetch_span, fetch_start + transfer_latency)
             served_by = cloud.origin.node_id
 
         # Placement decision at the requester.
         ctx = self.placement_context(doc_id, size, now, beacon_id)
-        if cloud.placement.should_store(ctx):
+        stored = cloud.placement.should_store(ctx)
+        decision_time = now + lookup.latency + transfer_latency
+        placement_span: Optional["Span"] = None
+        if tel is not None:
+            placement_span = tel.begin_span(
+                "placement", decision_time, stored=stored
+            )
+        if stored:
             self.admit_and_register(doc_id, size, version, now)
         else:
             cache.decline()
+        if tel is not None and placement_span is not None:
+            tel.end_span(placement_span, decision_time)
         latency_ms = MINUTES_TO_MS * (lookup.latency + transfer_latency)
         return RequestResult(outcome, latency_ms, served_by)
 
@@ -204,6 +248,13 @@ class CacheNode:
         fabric = cloud.fabric
         cache_id = self.cache.cache_id
         cloud.origin.serve_fetch(doc_id)
+        tel = cloud.telemetry
+        leg_start = now + lookup_latency
+        leg_span: Optional["Span"] = None
+        if tel is not None:
+            leg_span = tel.begin_span(
+                "origin_fetch", leg_start, via_beacon=beacon_id, bytes=size
+            )
         leg_one = fabric.send_document(
             cloud.origin.node_id,
             beacon_id,
@@ -215,6 +266,13 @@ class CacheNode:
                 TrafficCategory.ORIGIN_FETCH,
             ),
         )
+        if tel is not None and leg_span is not None:
+            tel.end_span(
+                leg_span,
+                leg_start + leg_one.latency,
+                ok=leg_one.ok,
+                attempts=leg_one.attempts,
+            )
         if not leg_one.ok:
             cloud.fault_origin_fallbacks += 1
             return self.origin_fallback(
@@ -223,6 +281,12 @@ class CacheNode:
                 lookup_latency + leg_one.latency,
             )
         cloud.nodes[beacon_id].admit_and_register(doc_id, size, version, now)
+        forward_start = leg_start + leg_one.latency
+        forward_span: Optional["Span"] = None
+        if tel is not None:
+            forward_span = tel.begin_span(
+                "beacon_forward", forward_start, beacon=beacon_id, bytes=size
+            )
         leg_two = fabric.send_document(
             beacon_id,
             cache_id,
@@ -234,6 +298,13 @@ class CacheNode:
                 TrafficCategory.PEER_TRANSFER,
             ),
         )
+        if tel is not None and forward_span is not None:
+            tel.end_span(
+                forward_span,
+                forward_start + leg_two.latency,
+                ok=leg_two.ok,
+                attempts=leg_two.attempts,
+            )
         if not leg_two.ok:
             cloud.fault_origin_fallbacks += 1
             return self.origin_fallback(
@@ -270,6 +341,13 @@ class CacheNode:
         cache = self.cache
         cache.stats.origin_fetches += 1
         cloud.origin.serve_fetch(doc_id)
+        tel = cloud.telemetry
+        fetch_start = now + accrued_latency
+        fetch_span: Optional["Span"] = None
+        if tel is not None:
+            fetch_span = tel.begin_span(
+                "origin_fetch", fetch_start, bytes=size, fallback=True
+            )
         transfer_latency = cloud.fabric.send_forced_document(
             cloud.origin.node_id,
             cache.cache_id,
@@ -280,6 +358,8 @@ class CacheNode:
                 TrafficCategory.ORIGIN_FETCH,
             ),
         )
+        if tel is not None and fetch_span is not None:
+            tel.end_span(fetch_span, fetch_start + transfer_latency)
         version = cloud.origin.version_of(doc_id)
         evicted = cache.admit(doc_id, size, version, now)
         if evicted is None:
@@ -303,6 +383,12 @@ class CacheNode:
         fabric = cloud.fabric
         cache = self.cache
         size = cloud.origin.serve_fetch(doc_id)
+        tel = cloud.telemetry
+        fetch_span: Optional["Span"] = None
+        if tel is not None:
+            fetch_span = tel.begin_span(
+                "origin_fetch", now, bytes=size, direct=True
+            )
         request = fabric.send_control(
             cache.cache_id, cloud.origin.node_id, reliable=True
         )
@@ -316,6 +402,8 @@ class CacheNode:
                 TrafficCategory.ORIGIN_FETCH,
             ),
         )
+        if tel is not None and fetch_span is not None:
+            tel.end_span(fetch_span, now + request.latency + transfer_latency)
         cache.stats.origin_fetches += 1
         version = cloud.origin.version_of(doc_id)
         cache.admit(doc_id, size, version, now)  # ad hoc local store

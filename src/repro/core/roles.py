@@ -30,6 +30,7 @@ from repro.network.origin import OriginServer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.cloud import CacheCloud
+    from repro.observe.spans import Span
 
 
 class BeaconRole:
@@ -122,12 +123,27 @@ class BeaconRole:
             )
         cloud.origin.note_update_message(doc_id)
         origin_id = cloud.origin.node_id
+        tel = cloud.telemetry
         if not carries_body:
             # Nobody holds the document: a bare invalidation notice suffices.
+            notice_span: Optional["Span"] = None
+            if tel is not None:
+                notice_span = tel.begin_span(
+                    "update_notice", now, beacon=beacon_id
+                )
             notice = fabric.send_control(origin_id, beacon_id, reliable=True)
+            if tel is not None and notice_span is not None:
+                tel.end_span(
+                    notice_span, now + notice.latency, ok=notice.ok
+                )
             if notice.ok:
                 self.state.record_update(irh)
             return 0
+        body_span: Optional["Span"] = None
+        if tel is not None:
+            body_span = tel.begin_span(
+                "server_to_beacon", now, beacon=beacon_id, bytes=size
+            )
         body = fabric.send_document(
             origin_id,
             beacon_id,
@@ -135,15 +151,29 @@ class BeaconRole:
             TrafficCategory.UPDATE_SERVER_TO_BEACON,
             reliable=True,
         )
+        if tel is not None and body_span is not None:
+            tel.end_span(
+                body_span,
+                now + body.latency,
+                ok=body.ok,
+                attempts=body.attempts,
+            )
         if not body.ok:
             # The fresh body never reached the beacon: every holder is now
             # stale until its next request triggers the repair path.
             cloud.update_pushes_lost += len(holders)
             return 0
         self.state.record_update(irh)
+        # Fan-out legs all start once the body has reached the beacon.
+        fanout_start = now + body.latency
         refreshed = 0
         for holder in holders:
             if holder != beacon_id:
+                leg_span: Optional["Span"] = None
+                if tel is not None:
+                    leg_span = tel.begin_span(
+                        "fanout_leg", fanout_start, holder=holder, bytes=size
+                    )
                 push = fabric.send_document(
                     beacon_id,
                     holder,
@@ -151,6 +181,13 @@ class BeaconRole:
                     TrafficCategory.UPDATE_FANOUT,
                     reliable=True,
                 )
+                if tel is not None and leg_span is not None:
+                    tel.end_span(
+                        leg_span,
+                        fanout_start + push.latency,
+                        ok=push.ok,
+                        attempts=push.attempts,
+                    )
                 if not push.ok:
                     cloud.update_pushes_lost += 1
                     continue
@@ -198,10 +235,16 @@ class OriginRole:
         """
         cloud = self._cloud
         fabric = cloud.fabric
+        tel = cloud.telemetry
         refreshed = 0
         for cache in cloud.caches:
             if cache.alive and cache.holds(doc_id):
                 self.server.note_update_message(doc_id)
+                push_span: Optional["Span"] = None
+                if tel is not None:
+                    push_span = tel.begin_span(
+                        "origin_refresh", now, holder=cache.cache_id, bytes=size
+                    )
                 push = fabric.send_document(
                     self.node_id,
                     cache.cache_id,
@@ -209,6 +252,13 @@ class OriginRole:
                     TrafficCategory.UPDATE_SERVER_TO_BEACON,
                     reliable=True,
                 )
+                if tel is not None and push_span is not None:
+                    tel.end_span(
+                        push_span,
+                        now + push.latency,
+                        ok=push.ok,
+                        attempts=push.attempts,
+                    )
                 if not push.ok:
                     cloud.update_pushes_lost += 1
                     continue

@@ -17,7 +17,7 @@ are seeded, so the sweep is value-identical at any ``--jobs`` count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.audit.antientropy import AntiEntropyConfig
 from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
@@ -32,6 +32,41 @@ from repro.faults.churn import ChurnSpec
 from repro.faults.plan import FaultPlan
 from repro.metrics.report import Table, format_figure_header
 from repro.network.bandwidth import TrafficCategory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import ExperimentResult
+    from repro.observe.registry import Telemetry
+
+
+def _sweep_config(scale: FigureScale) -> CloudConfig:
+    """The cloud configuration every resilience sweep point shares."""
+    return CloudConfig(
+        num_caches=10,
+        num_rings=5,
+        intra_gen=1000,
+        cycle_length=scale.cycle_length,
+        assignment=AssignmentScheme.DYNAMIC,
+        placement=PlacementScheme.AD_HOC,
+        failure_resilience=True,
+        seed=scale.seed,
+    )
+
+
+def _point_churn(
+    scale: FigureScale, duration: float, churn_rate: float
+) -> Optional[ChurnSpec]:
+    """The churn recipe for one sweep point (None when churn is off)."""
+    if churn_rate <= 0.0:
+        return None
+    return ChurnSpec(
+        duration_minutes=duration,
+        failure_rate_per_minute=churn_rate,
+        # Long enough to hurt, short enough that recovery (and
+        # the repair path) is exercised within the run.
+        mean_downtime_minutes=2.0 * scale.cycle_length,
+        start_minutes=min(scale.cycle_length, duration / 4.0),
+        seed=derive_seed(scale.seed, "churn", churn_rate),
+    )
 
 
 @dataclass
@@ -99,32 +134,12 @@ def resilience_sweep(
     """
     if seed is not None:
         scale = replace(scale, seed=seed)
-    config = CloudConfig(
-        num_caches=10,
-        num_rings=5,
-        intra_gen=1000,
-        cycle_length=scale.cycle_length,
-        assignment=AssignmentScheme.DYNAMIC,
-        placement=PlacementScheme.AD_HOC,
-        failure_resilience=True,
-        seed=scale.seed,
-    )
+    config = _sweep_config(scale)
     workload = _zipf_workload(scale, config.num_caches)
     duration = scale.duration_minutes
     specs = []
     for loss_rate in loss_rates:
         for churn_rate in churn_rates:
-            churn = None
-            if churn_rate > 0.0:
-                churn = ChurnSpec(
-                    duration_minutes=duration,
-                    failure_rate_per_minute=churn_rate,
-                    # Long enough to hurt, short enough that recovery (and
-                    # the repair path) is exercised within the run.
-                    mean_downtime_minutes=2.0 * scale.cycle_length,
-                    start_minutes=min(scale.cycle_length, duration / 4.0),
-                    seed=derive_seed(scale.seed, "churn", churn_rate),
-                )
             specs.append(
                 ExperimentSpec(
                     key=(loss_rate, churn_rate),
@@ -136,7 +151,7 @@ def resilience_sweep(
                         seed=derive_seed(scale.seed, "loss", loss_rate),
                         loss_rate=loss_rate,
                     ),
-                    churn=churn,
+                    churn=_point_churn(scale, duration, churn_rate),
                 )
             )
 
@@ -162,6 +177,49 @@ def resilience_sweep(
             )
         )
     return result
+
+
+def instrumented_point(
+    scale: FigureScale = SMALL_SCALE,
+    loss_rate: float = 0.0,
+    churn_rate: float = 0.0,
+    seed: Optional[int] = None,
+) -> Tuple["ExperimentResult", "Telemetry"]:
+    """Re-run one resilience sweep point serially with telemetry attached.
+
+    Builds the *same* config/workload/fault/churn recipes as the matching
+    :func:`resilience_sweep` grid point (identical seed derivations), so
+    the instrumented run reproduces that point's protocol behavior exactly
+    and the returned :class:`~repro.observe.registry.Telemetry` explains
+    it — span trees per request, per-category fabric latency histograms,
+    and loss/retry counters. This is the `repro resilience --telemetry`
+    backend.
+    """
+    from repro.experiments.runner import run_experiment
+    from repro.observe.registry import Telemetry
+
+    if seed is not None:
+        scale = replace(scale, seed=seed)
+    config = _sweep_config(scale)
+    workload = _zipf_workload(scale, config.num_caches)
+    duration = scale.duration_minutes
+    corpus, trace = workload.materialize()
+    telemetry = Telemetry()
+    result = run_experiment(
+        config,
+        corpus,
+        trace.requests,
+        trace.updates,
+        duration=duration,
+        warmup=min(2.0 * config.cycle_length, duration / 2.0),
+        fault_plan=FaultPlan(
+            seed=derive_seed(scale.seed, "loss", loss_rate),
+            loss_rate=loss_rate,
+        ),
+        churn=_point_churn(scale, duration, churn_rate),
+        telemetry=telemetry,
+    )
+    return result, telemetry
 
 
 @dataclass
@@ -222,30 +280,13 @@ def anti_entropy_sweep(
     """
     if seed is not None:
         scale = replace(scale, seed=seed)
-    config = CloudConfig(
-        num_caches=10,
-        num_rings=5,
-        intra_gen=1000,
-        cycle_length=scale.cycle_length,
-        assignment=AssignmentScheme.DYNAMIC,
-        placement=PlacementScheme.AD_HOC,
-        failure_resilience=True,
-        seed=scale.seed,
-    )
+    config = _sweep_config(scale)
     workload = _zipf_workload(scale, config.num_caches)
     duration = scale.duration_minutes
     specs = []
     for loss_rate in loss_rates:
         for churn_rate in churn_rates:
-            churn = None
-            if churn_rate > 0.0:
-                churn = ChurnSpec(
-                    duration_minutes=duration,
-                    failure_rate_per_minute=churn_rate,
-                    mean_downtime_minutes=2.0 * scale.cycle_length,
-                    start_minutes=min(scale.cycle_length, duration / 4.0),
-                    seed=derive_seed(scale.seed, "churn", churn_rate),
-                )
+            churn = _point_churn(scale, duration, churn_rate)
             for repair in (False, True):
                 specs.append(
                     ExperimentSpec(

@@ -9,7 +9,7 @@ statistics every figure needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional, Union
 
 from repro.core.cloud import CacheCloud
 from repro.core.config import CloudConfig
@@ -30,6 +30,9 @@ from repro.workload.trace import (
     UpdateRecord,
     merge_streams,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.registry import Telemetry
 
 
 class TraceFeeder:
@@ -143,6 +146,7 @@ def run_experiment(
     churn: Optional[ChurnSpec] = None,
     anti_entropy=None,
     audit: bool = False,
+    telemetry: Optional["Telemetry"] = None,
 ) -> ExperimentResult:
     """Run one trace-driven experiment.
 
@@ -179,6 +183,11 @@ def run_experiment(
         Run the invariant auditor at the end of the run and store its flat
         summary in ``result.audit``. The audit is read-only and runs after
         the last simulated event, so it never perturbs reported metrics.
+    telemetry:
+        Optional :class:`~repro.observe.registry.Telemetry` registry,
+        attached to the cloud before the first record is fed. Recording is
+        observation-only; the run's protocol behavior is identical with or
+        without it.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -190,6 +199,8 @@ def run_experiment(
     simulator = Simulator()
     if cloud is None:
         cloud = CacheCloud(config, corpus)
+    if telemetry is not None:
+        cloud.attach_telemetry(telemetry)
     if fault_plan is not None:
         cloud.attach_faults(
             FaultInjector(

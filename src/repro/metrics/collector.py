@@ -25,11 +25,17 @@ divergence it exists to bound: ``stale_copies`` (gauge: resident copies
 older than the origin's version), ``stale_age_mean`` (gauge: mean minutes
 since those documents' last origin update — the staleness *age* the
 repair period bounds), and ``ae_repairs`` (windowed repairs performed).
+
+When a telemetry registry (``repro.observe``) is attached, two windowed
+request-latency series are added: ``request_p50_ms`` and
+``request_p99_ms`` — the time-resolved percentiles Carlsson & Eager argue
+end-of-run means cannot substitute for. Windows with no requests record
+0.0 so the series stays aligned with the sampling grid.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.edgecache.stats import CacheStats
 from repro.metrics.loadbalance import coefficient_of_variation, peak_to_mean
@@ -61,11 +67,17 @@ _AE_METRICS = (
     "ae_repairs",
 )
 
+#: Extra series sampled only when a telemetry registry is attached.
+_LATENCY_METRICS = (
+    "request_p50_ms",
+    "request_p99_ms",
+)
+
 
 class CloudMonitor:
     """Samples windowed cloud statistics on a fixed period."""
 
-    def __init__(self, cloud, simulator: Simulator, period: float) -> None:
+    def __init__(self, cloud: Any, simulator: Simulator, period: float) -> None:
         if period <= 0:
             raise ValueError(f"period must be > 0, got {period}")
         self.cloud = cloud
@@ -77,6 +89,9 @@ class CloudMonitor:
         self._track_ae = getattr(cloud, "anti_entropy", None) is not None
         if self._track_ae:
             names.extend(_AE_METRICS)
+        self._track_latency = getattr(cloud, "telemetry", None) is not None
+        if self._track_latency:
+            names.extend(_LATENCY_METRICS)
         self.series: Dict[str, TimeSeries] = {
             name: TimeSeries(name) for name in names
         }
@@ -85,6 +100,8 @@ class CloudMonitor:
         self._last_stats = CacheStats()
         self._last_faults: Dict[str, float] = {}
         self._last_ae_repairs = 0.0
+        self._window_start = 0.0
+        self._simulator = simulator
         self._process = PeriodicProcess(
             simulator,
             period,
@@ -118,6 +135,8 @@ class CloudMonitor:
             self._last_faults = self._fault_snapshot()
         if self._track_ae:
             self._last_ae_repairs = float(self.cloud.anti_entropy.stats.repairs)
+        if self._track_latency:
+            self._window_start = self._simulator.now
 
     def _fault_snapshot(self) -> Dict[str, float]:
         cloud = self.cloud
@@ -187,7 +206,14 @@ class CloudMonitor:
             self.series["ae_repairs"].append(now, repairs - self._last_ae_repairs)
             self._last_ae_repairs = repairs
 
-    def _staleness_scan(self, now: float):
+        if self._track_latency:
+            latencies = self.cloud.telemetry.request_latencies
+            for name, q in zip(_LATENCY_METRICS, (0.50, 0.99)):
+                value = latencies.percentile_in(self._window_start, now, q)
+                self.series[name].append(now, value if value is not None else 0.0)
+            self._window_start = now
+
+    def _staleness_scan(self, now: float) -> Tuple[int, float]:
         """Count stale resident copies and sum their staleness ages."""
         cloud = self.cloud
         stale = 0

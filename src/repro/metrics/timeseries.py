@@ -2,8 +2,24 @@
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from typing import List, Optional, Tuple
+import math
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def _nearest_rank(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank selection from an ascending-sorted sequence.
+
+    ``q=0`` selects the minimum, ``q=1`` the maximum; the sequence must be
+    non-empty. This is the one selection rule shared by every percentile
+    accessor in the repo (histograms approximate it on bucket edges).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
 
 
 class TimeSeries:
@@ -50,6 +66,45 @@ class TimeSeries:
         if not points:
             return None
         return sum(value for _, value in points) / len(points)
+
+    def values_in(self, start: float, end: float) -> List[float]:
+        """Values with ``start <= time < end`` (insertion order)."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        return self._values[lo:hi]
+
+    def percentile_in(self, start: float, end: float, q: float) -> Optional[float]:
+        """Nearest-rank percentile of values in ``[start, end)``.
+
+        Returns ``None`` when the window is empty, so callers can
+        distinguish "no traffic" from "zero latency".
+        """
+        values = self.values_in(start, end)
+        if not values:
+            return None
+        return _nearest_rank(sorted(values), q)
+
+    def quantiles(
+        self,
+        qs: Sequence[float] = (0.5, 0.9, 0.99),
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Dict[float, float]:
+        """Several percentiles over one window with a single sort.
+
+        ``start``/``end`` default to the whole series; an empty window
+        yields an empty dict.
+        """
+        if start is None and end is None:
+            values = list(self._values)
+        else:
+            lo = 0 if start is None else bisect_left(self._times, start)
+            hi = len(self._times) if end is None else bisect_left(self._times, end)
+            values = self._values[lo:hi]
+        if not values:
+            return {}
+        values.sort()
+        return {q: _nearest_rank(values, q) for q in qs}
 
     def last(self) -> Optional[Tuple[float, float]]:
         """Most recent (time, value), or None when empty."""

@@ -1,0 +1,41 @@
+"""Deterministic, zero-overhead-when-off observability for the protocol plane.
+
+The package splits into four small modules:
+
+* :mod:`repro.observe.spans` — request-scoped trace spans over sim time.
+* :mod:`repro.observe.histogram` — fixed-bucket log-spaced histograms.
+* :mod:`repro.observe.registry` — the :class:`Telemetry` object that owns
+  counters, gauges, histograms, and the span sink.
+* :mod:`repro.observe.export` — canonical JSON artifact and text reports.
+
+Attach with ``cloud.attach_telemetry(Telemetry())``; when nothing is
+attached the protocol plane's behavior and accounting are byte-identical
+to running without this package imported at all.
+"""
+
+from repro.observe.export import (
+    dump_json,
+    find_tree,
+    render_span_tree,
+    render_summary,
+    span_trees,
+    telemetry_to_jsonable,
+    write_json,
+)
+from repro.observe.histogram import LogHistogram
+from repro.observe.registry import Telemetry
+from repro.observe.spans import Span, SpanRecorder
+
+__all__ = [
+    "LogHistogram",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "dump_json",
+    "find_tree",
+    "render_span_tree",
+    "render_summary",
+    "span_trees",
+    "telemetry_to_jsonable",
+    "write_json",
+]

@@ -1,0 +1,130 @@
+"""Fixed-bucket log-spaced histograms for latency and byte distributions.
+
+Bucket edges are computed once from (lower, upper, buckets_per_decade) and
+never depend on the data, so two runs with different seeds aggregate into
+comparable histograms and two runs with the same seed produce bit-identical
+exports. Values below ``lower`` (including the exact-zero latencies a
+topology-less transport produces) land in a dedicated underflow bucket;
+values above the last edge land in an overflow bucket.
+
+Percentiles use the nearest-rank rule on bucket boundaries: the reported
+pXX is the upper edge of the bucket containing the target rank, clamped to
+the observed [min, max]. That makes percentiles a function of the bucket
+counts alone — deterministic, mergeable, and honest about resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, List, Optional
+
+__all__ = ["LogHistogram"]
+
+
+class LogHistogram:
+    """Histogram with log-spaced, data-independent bucket edges.
+
+    Parameters
+    ----------
+    lower:
+        First positive bucket edge. Everything in ``[0, lower)`` falls into
+        the underflow bucket (reported with representative value 0.0).
+    upper:
+        Edges stop once they exceed this bound; larger values overflow.
+    buckets_per_decade:
+        Resolution: edges grow by ``10 ** (1 / buckets_per_decade)``.
+    """
+
+    def __init__(
+        self,
+        lower: float = 1e-3,
+        upper: float = 1e7,
+        buckets_per_decade: int = 4,
+    ) -> None:
+        if lower <= 0 or upper <= lower:
+            raise ValueError(f"need 0 < lower < upper, got {lower}, {upper}")
+        if buckets_per_decade <= 0:
+            raise ValueError(f"buckets_per_decade must be positive, got {buckets_per_decade}")
+        growth = 10.0 ** (1.0 / buckets_per_decade)
+        bounds: List[float] = [0.0]
+        edge = lower
+        while edge <= upper:
+            bounds.append(edge)
+            edge *= growth
+        self.bounds = bounds
+        # counts[i] covers values in (bounds[i-1], bounds[i]]; counts[0] is
+        # the underflow bucket [0, bounds[1]) collapsed onto edge 0.0, and
+        # the final slot is the overflow bucket past the last edge.
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        """Add one observation (negative values clamp to zero)."""
+        value = max(0.0, float(value))
+        index = bisect_left(self.bounds, value)
+        if index == 1 and value < self.bounds[1]:
+            index = 0  # sub-``lower`` values belong to the underflow bucket
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile from bucket counts, clamped to [min, max]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        target = max(1, math.ceil(q * self.count))
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= target:
+                if index == 0:
+                    representative = 0.0
+                elif index < len(self.bounds):
+                    representative = self.bounds[index]
+                else:
+                    representative = self.max
+                return min(max(representative, self.min), self.max)
+        return self.max  # unreachable: counts sum to self.count
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary: count/sum/min/max/p50/p90/p99 + sparse buckets.
+
+        Buckets are emitted as ``[upper_edge, count]`` pairs for non-empty
+        buckets only; the overflow bucket's edge is ``None``.
+        """
+        buckets: List[List[object]] = []
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            edge = self.bounds[index] if index < len(self.bounds) else None
+            buckets.append([edge, bucket_count])
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": buckets,
+        }
+
+    def __repr__(self) -> str:
+        return f"LogHistogram(count={self.count}, min={self.min}, max={self.max})"

@@ -1,0 +1,97 @@
+"""The unified telemetry registry.
+
+One :class:`Telemetry` object owns every observability primitive — named
+counters, gauges, per-category histograms, the span recorder, and a raw
+request-latency time series for windowed percentiles. The protocol plane
+holds at most one optional reference to it (``cloud.telemetry`` /
+``fabric.telemetry``); when that reference is ``None`` the hot path pays a
+single attribute check and nothing else, which is what keeps the
+zero-overhead-when-off contract honest (see the off-path structural
+equivalence tests in tests/test_core_fabric.py).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.node import MINUTES_TO_MS
+from repro.metrics.timeseries import TimeSeries
+from repro.observe.histogram import LogHistogram
+from repro.observe.spans import Span, SpanRecorder
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Counters, gauges, histograms, and a span sink behind one handle.
+
+    Histograms are keyed ``latency_ms.<category>`` / ``bytes.<category>``
+    and created on demand with fixed log-spaced buckets, so the export
+    shape depends only on which categories saw traffic — not on the seed.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, LogHistogram] = {}
+        self.spans = SpanRecorder(max_spans=max_spans)
+        self.request_latencies = TimeSeries("request_latency_ms")
+
+    # -- scalar instruments -------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Increment counter ``name`` by ``delta``."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def histogram(self, name: str) -> LogHistogram:
+        """Fetch-or-create the histogram named ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = LogHistogram()
+            self.histograms[name] = hist
+        return hist
+
+    # -- protocol-plane hooks ----------------------------------------------
+
+    def record_attempt(
+        self, category: str, num_bytes: int, latency_minutes: Optional[float]
+    ) -> None:
+        """Record one fabric dispatch attempt for ``category``.
+
+        ``latency_minutes`` is the transport's verdict: a float for a
+        delivered message (converted to ms for the histogram), ``None``
+        for a loss, which is counted instead of measured.
+        """
+        self.count(f"fabric.attempts.{category}")
+        self.histogram(f"bytes.{category}").record(float(num_bytes))
+        if latency_minutes is None:
+            self.count(f"fabric.lost.{category}")
+        else:
+            self.histogram(f"latency_ms.{category}").record(
+                latency_minutes * MINUTES_TO_MS
+            )
+
+    def observe_request(self, now: float, latency_ms: float) -> None:
+        """Record one completed client request at sim-time ``now``."""
+        self.request_latencies.append(now, latency_ms)
+        self.histogram("latency_ms.request").record(latency_ms)
+
+    # -- span sink delegates ------------------------------------------------
+
+    def begin_span(self, name: str, start: float, **attrs: object) -> Span:
+        return self.spans.begin(name, start, **attrs)
+
+    def end_span(self, span: Span, end: float, **attrs: object) -> None:
+        self.spans.end(span, end, **attrs)
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(counters={len(self.counters)}, "
+            f"histograms={len(self.histograms)}, spans={len(self.spans.spans)})"
+        )

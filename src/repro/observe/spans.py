@@ -1,0 +1,144 @@
+"""Request-scoped trace spans over simulated time.
+
+A :class:`Span` is one timed piece of protocol work — a whole
+``handle_request``, a beacon lookup RPC, one update fan-out leg — carrying
+sim-time start/end plus free-form attributes (traffic category, bytes,
+attempts, outcome). Spans form trees: the :class:`SpanRecorder` keeps an
+open-span stack, so a span begun while another is open becomes its child,
+and a full request reconstructs as *root → beacon lookup → peer fetch →
+placement decision* without any explicit context passing.
+
+Design constraints (see DESIGN.md §8):
+
+* **Deterministic** — spans carry only sim-time and protocol-derived
+  attributes; ids are a begin-order counter. Two same-seed runs produce
+  identical span lists.
+* **Bounded** — at most ``max_spans`` spans are retained; later spans are
+  counted in :attr:`SpanRecorder.dropped` but still participate in stack
+  bookkeeping, so parent/child ids stay consistent. Because retention is
+  monotone (once full, always full) a retained span's parent is always
+  retained too, and tree reconstruction never dangles.
+* **Synchronous** — the protocol plane is single-threaded simulation code,
+  so a plain stack models nesting exactly; :meth:`SpanRecorder.end` insists
+  on properly paired begin/end calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "SpanRecorder"]
+
+
+@dataclass
+class Span:
+    """One timed unit of protocol work, linked to its parent by id."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    #: Sim-time end; ``None`` while the span is still open. On close the
+    #: end is widened to cover every child, so parents always contain
+    #: their children even when the closing code only knows its own leg.
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated minutes (0.0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class SpanRecorder:
+    """Begin/end span sink with stack-derived parentage.
+
+    Parameters
+    ----------
+    max_spans:
+        Retention cap. Spans begun past the cap are dropped (counted in
+        :attr:`dropped`) but still push/pop the stack so nesting of later
+        retained spans stays correct.
+    """
+
+    def __init__(self, max_spans: int = 10_000) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._stack: List[Span] = []
+        self._frame_child_end: List[float] = []
+        self._next_id = 0
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    @property
+    def begun(self) -> int:
+        """Total spans ever begun (retained + dropped)."""
+        return self._next_id
+
+    def begin(self, name: str, start: float, **attrs: object) -> Span:
+        """Open a span; the innermost open span (if any) becomes its parent."""
+        parent_id = self._stack[-1].span_id if self._stack else None
+        span = Span(self._next_id, parent_id, name, float(start), None, dict(attrs))
+        self._next_id += 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        self._stack.append(span)
+        self._frame_child_end.append(float("-inf"))
+        return span
+
+    def end(self, span: Span, end: float, **attrs: object) -> None:
+        """Close the innermost span; must be the one passed in.
+
+        The recorded end is ``max(end, latest child end)`` so a parent that
+        only knows its own leg latency still covers its children.
+        """
+        if not self._stack or self._stack[-1] is not span:
+            open_name = self._stack[-1].name if self._stack else "<none>"
+            raise RuntimeError(
+                f"span end out of order: closing {span.name!r} "
+                f"but innermost open span is {open_name!r}"
+            )
+        self._stack.pop()
+        child_end = self._frame_child_end.pop()
+        span.end = max(float(end), child_end)
+        span.attrs.update(attrs)
+        if self._frame_child_end:
+            self._frame_child_end[-1] = max(self._frame_child_end[-1], span.end)
+
+    def unwind(self, span: Span, end: float) -> None:
+        """Close every open span up to and including ``span`` (error paths).
+
+        Each unwound span is marked ``aborted`` so the exported tree shows
+        where the exception cut the request short.
+        """
+        while self._stack:
+            top = self._stack[-1]
+            top.attrs.setdefault("aborted", True)
+            self.end(top, end)
+            if top is span:
+                return
+        raise RuntimeError(f"span {span.name!r} is not on the stack")
+
+    def clear(self) -> None:
+        """Drop retained spans and reset the stack (tests / reuse)."""
+        self.spans.clear()
+        self._stack.clear()
+        self._frame_child_end.clear()
+        self.dropped = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecorder(retained={len(self.spans)}, dropped={self.dropped}, "
+            f"open={len(self._stack)})"
+        )

@@ -63,6 +63,15 @@ class Simulator:
             return None
         return self._queue[0].time
 
+    def iter_pending(self) -> List[Event]:
+        """The live (non-cancelled) queued events, in heap order.
+
+        The returned list is a snapshot; mutating an event's ``callback``
+        (as :class:`~repro.simulation.tracing.EventTracer` does on attach)
+        is supported, re-ordering is not.
+        """
+        return [event for event in self._queue if not event.cancelled]
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -34,9 +34,10 @@ class EventTracer:
     """Bounded dispatch log attached to a :class:`Simulator`.
 
     Implementation note: the tracer wraps the simulator's ``schedule_at``
-    so every event's callback is decorated with a recording shim. Events
-    scheduled *before* :meth:`attach` are not traced (they carry the
-    original callbacks).
+    so every event's callback is decorated with a recording shim, and on
+    :meth:`attach` it also rewrites the callbacks of events *already* in
+    the queue — so pre-attach events (a periodic process armed during
+    setup, a warm-up reset) are traced too, not silently skipped.
     """
 
     def __init__(self, capacity: int = 10_000) -> None:
@@ -52,23 +53,39 @@ class EventTracer:
     # Lifecycle
     # ------------------------------------------------------------------
     def attach(self, simulator: Simulator) -> "EventTracer":
-        """Start tracing ``simulator``; returns self for chaining."""
+        """Start tracing ``simulator``; returns self for chaining.
+
+        Events already in the queue are traced too: their callbacks are
+        rewritten in place with the same recording shim new events get.
+        """
         if self._simulator is not None:
             raise RuntimeError("tracer is already attached")
         self._simulator = simulator
         self._original_schedule_at = simulator.schedule_at
 
         def traced_schedule_at(time, callback, priority=EventPriority.REQUEST, label=None):
-            def recording_callback():
-                self._record(simulator.now, priority, label)
-                return callback()
-
             return self._original_schedule_at(
-                time, recording_callback, priority=priority, label=label
+                time,
+                self._recording(simulator, callback, priority, label),
+                priority=priority,
+                label=label,
             )
 
         simulator.schedule_at = traced_schedule_at  # type: ignore[method-assign]
+        for event in simulator.iter_pending():
+            event.callback = self._recording(
+                simulator, event.callback, event.priority, event.label
+            )
         return self
+
+    def _recording(self, simulator, callback, priority, label):
+        """Wrap ``callback`` so its dispatch lands in the record buffer."""
+
+        def recording_callback():
+            self._record(simulator.now, priority, label)
+            return callback()
+
+        return recording_callback
 
     def detach(self) -> None:
         """Stop tracing; already-scheduled traced events still record."""

@@ -159,3 +159,73 @@ class TestCompareCommand:
         b = self._write(tmp_path, "e", {"v": 1.2}, "b.json")
         assert main(["compare", a, b, "--tolerance", "0.5"]) == 0
         assert main(["compare", a, b, "--tolerance", "0.1"]) == 1
+
+
+class TestObserveCommand:
+    _FAST = [
+        "observe",
+        "--documents", "80",
+        "--caches", "4",
+        "--rings", "2",
+        "--duration", "8",
+        "--cycle", "4",
+    ]
+
+    def test_summary_includes_collaborative_miss_tree(self, capsys):
+        assert main(self._FAST) == 0
+        out = capsys.readouterr().out
+        assert "== histograms ==" in out
+        assert "example collaborative miss" in out
+        for name in ("request", "beacon_lookup", "peer_fetch", "placement"):
+            assert name in out
+
+    def test_json_mode_and_artifact(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "telemetry.json"
+        assert main(self._FAST + ["--json", "--out", str(out_file)]) == 0
+        stdout = capsys.readouterr().out
+        data = json.loads(out_file.read_text())
+        assert data["schema_version"] == 1
+        assert any(key.startswith("latency_ms.") for key in data["histograms"])
+        assert data["spans"]["recorded"] > 0
+        # The printed JSON is the same canonical document.
+        assert json.loads(stdout[: stdout.rindex("}") + 1]) == data
+
+    def test_same_seed_artifacts_are_bit_identical(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self._FAST + ["--out", str(a)]) == 0
+        assert main(self._FAST + ["--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestRunTelemetryFlag:
+    def test_flag_defaults_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.telemetry is None
+
+    def test_flag_without_value_uses_default_path(self):
+        args = build_parser().parse_args(["run", "--telemetry"])
+        assert args.telemetry == "telemetry.json"
+
+    def test_run_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "run-telemetry.json"
+        code = main(
+            [
+                "run",
+                "--documents", "100",
+                "--caches", "4",
+                "--rings", "2",
+                "--duration", "10",
+                "--cycle", "5",
+                "--telemetry", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert "telemetry:" in capsys.readouterr().out
+        data = json.loads(out_file.read_text())
+        for key in data["histograms"]:
+            if key.startswith("latency_ms."):
+                assert data["histograms"][key]["p99"] is not None

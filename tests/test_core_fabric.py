@@ -263,3 +263,86 @@ class TestZeroFaultStructuralEquivalence:
         cloud.fabric.stop_dispatch_capture()
         cloud.handle_request(1, 5, now=2.0)
         assert len(log) == seen
+
+
+class TestTelemetryOffPathEquivalence:
+    """Attaching telemetry observes the protocols without perturbing them.
+
+    The observability layer's contract (PR 5) extends the zero-fault
+    guarantee: a cloud with a `Telemetry` registry attached must produce
+    the very same wire messages, outcomes, meter/ledger totals, and RNG
+    draw count as a cloud with none — recording is strictly read-only.
+    """
+
+    def test_dispatch_log_and_outcomes_identical(self, small_corpus):
+        from repro.observe import Telemetry
+
+        bare = make_cloud(small_corpus)
+        observed = make_cloud(small_corpus)
+        observed.attach_telemetry(Telemetry())
+        bare_log = bare.fabric.capture_dispatches()
+        observed_log = observed.fabric.capture_dispatches()
+
+        assert _drive(bare) == _drive(observed)
+
+        assert len(bare_log) > 0
+        assert bare_log == observed_log
+
+    def test_meter_and_ledger_totals_identical(self, small_corpus):
+        from repro.observe import Telemetry
+
+        bare = make_cloud(small_corpus)
+        observed = make_cloud(small_corpus)
+        observed.attach_telemetry(Telemetry())
+        _drive(bare)
+        _drive(observed)
+
+        assert bare.transport.meter == observed.transport.meter
+        assert (
+            bare.transport.messages_attempted
+            == observed.transport.messages_attempted
+        )
+        assert (
+            bare.transport.bytes_attempted == observed.transport.bytes_attempted
+        )
+        assert bare.fabric.stats == observed.fabric.stats
+
+    def test_telemetry_makes_no_random_draws(self, small_corpus):
+        """Recording must never consult the injector RNG, or seeds diverge."""
+        from repro.observe import Telemetry
+
+        cloud = make_cloud(small_corpus)
+        injector = FaultInjector(NO_FAULTS, cloud.transport, seed=99)
+        cloud.attach_faults(injector)
+        cloud.attach_telemetry(Telemetry())
+        before = injector._rng.getstate()
+        _drive(cloud)
+        assert injector._rng.getstate() == before
+
+    def test_telemetry_actually_recorded(self, small_corpus):
+        from repro.observe import Telemetry
+
+        cloud = make_cloud(small_corpus)
+        telemetry = Telemetry()
+        cloud.attach_telemetry(telemetry)
+        _drive(cloud)
+        assert telemetry.counters["fabric.attempts.control"] > 0
+        assert telemetry.histograms["bytes.peer_transfer"].count > 0
+        assert len(telemetry.spans.spans) > 0
+        assert telemetry.spans.depth == 0  # every span closed
+
+    def test_detach_stops_recording_and_returns_registry(self, small_corpus):
+        from repro.observe import Telemetry
+
+        cloud = make_cloud(small_corpus)
+        telemetry = Telemetry()
+        cloud.attach_telemetry(telemetry)
+        cloud.handle_request(0, 5, now=1.0)
+        recorded = len(telemetry.spans.spans)
+        assert recorded > 0
+        detached = cloud.detach_telemetry()
+        assert detached is telemetry
+        assert cloud.telemetry is None
+        assert cloud.fabric.telemetry is None
+        cloud.handle_request(1, 5, now=2.0)
+        assert len(telemetry.spans.spans) == recorded

@@ -101,3 +101,59 @@ class TestCloudMonitor:
         gauges = [v for _, v in monitor.series["docs_stored"].items()]
         resident = sum(len(c.storage) for c in cloud.caches)
         assert gauges[-1] == float(resident)
+
+
+class TestLatencySeries:
+    """The windowed p50/p99 series that appear when telemetry is attached."""
+
+    def build_traced(self, period=10.0):
+        from repro.observe import Telemetry
+
+        cloud = build_cloud()
+        cloud.attach_telemetry(Telemetry())
+        sim = Simulator()
+        monitor = CloudMonitor(cloud, sim, period=period)
+        monitor.start()
+        TraceFeeder(sim, cloud, trace_for().merged()).start()
+        sim.run_until(40.0)
+        return cloud, monitor
+
+    def test_absent_without_telemetry(self):
+        cloud = build_cloud()
+        monitor = CloudMonitor(cloud, Simulator(), period=10.0)
+        assert "request_p50_ms" not in monitor.series
+        assert "request_p99_ms" not in monitor.series
+
+    def test_present_and_sampled_with_telemetry(self):
+        _, monitor = self.build_traced()
+        for name in ("request_p50_ms", "request_p99_ms"):
+            series = monitor.series[name]
+            assert len(series) == 4
+            assert all(v >= 0.0 for _, v in series.items())
+
+    def test_p99_dominates_p50(self):
+        _, monitor = self.build_traced()
+        p50 = [v for _, v in monitor.series["request_p50_ms"].items()]
+        p99 = [v for _, v in monitor.series["request_p99_ms"].items()]
+        assert all(hi >= lo for lo, hi in zip(p50, p99))
+
+    def test_windows_match_raw_series(self):
+        cloud, monitor = self.build_traced()
+        latencies = cloud.telemetry.request_latencies
+        samples = monitor.series["request_p99_ms"].items()
+        start = 0.0
+        for now, value in samples:
+            expected = latencies.percentile_in(start, now, 0.99)
+            assert value == (expected if expected is not None else 0.0)
+            start = now
+
+    def test_idle_windows_report_zero(self):
+        from repro.observe import Telemetry
+
+        cloud = build_cloud()
+        cloud.attach_telemetry(Telemetry())
+        sim = Simulator()
+        monitor = CloudMonitor(cloud, sim, period=5.0)
+        monitor.start()
+        sim.run_until(10.0)  # no traffic
+        assert [v for _, v in monitor.series["request_p50_ms"].items()] == [0.0, 0.0]

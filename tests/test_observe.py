@@ -1,0 +1,380 @@
+"""Unit tests for the observability layer: spans, histograms, registry, export."""
+
+import json
+
+import pytest
+
+from repro.core.cloud import CacheCloud
+from repro.core.config import CloudConfig, PlacementScheme
+from repro.core.node import MINUTES_TO_MS
+from repro.experiments.runner import run_experiment
+from repro.observe import (
+    LogHistogram,
+    SpanRecorder,
+    Telemetry,
+    dump_json,
+    find_tree,
+    render_span_tree,
+    render_summary,
+    span_trees,
+    telemetry_to_jsonable,
+    write_json,
+)
+from repro.workload.documents import build_corpus
+from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
+
+
+class TestSpanRecorder:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(max_spans=0)
+
+    def test_begin_end_pairing_and_ids(self):
+        recorder = SpanRecorder()
+        root = recorder.begin("request", 1.0, cache=3)
+        child = recorder.begin("beacon_lookup", 1.0)
+        recorder.end(child, 1.5, ok=True)
+        recorder.end(root, 2.0, outcome="cloud_hit")
+        assert root.span_id == 0 and root.parent_id is None
+        assert child.span_id == 1 and child.parent_id == 0
+        assert root.attrs == {"cache": 3, "outcome": "cloud_hit"}
+        assert child.attrs == {"ok": True}
+        assert recorder.depth == 0
+        assert recorder.begun == 2
+
+    def test_end_out_of_order_raises(self):
+        recorder = SpanRecorder()
+        root = recorder.begin("request", 0.0)
+        recorder.begin("child", 0.0)
+        with pytest.raises(RuntimeError, match="out of order"):
+            recorder.end(root, 1.0)
+
+    def test_end_without_open_span_raises(self):
+        recorder = SpanRecorder()
+        span = recorder.begin("x", 0.0)
+        recorder.end(span, 1.0)
+        with pytest.raises(RuntimeError):
+            recorder.end(span, 2.0)
+
+    def test_parent_end_widened_to_cover_children(self):
+        recorder = SpanRecorder()
+        root = recorder.begin("request", 0.0)
+        leg = recorder.begin("fanout_leg", 0.0)
+        recorder.end(leg, 7.5)
+        # The closer only knows its own instant, but the child ran longer.
+        recorder.end(root, 1.0)
+        assert root.end == 7.5
+
+    def test_widening_propagates_through_middle_spans(self):
+        recorder = SpanRecorder()
+        root = recorder.begin("update", 0.0)
+        middle = recorder.begin("server_to_beacon", 0.0)
+        leaf = recorder.begin("fanout_leg", 2.0)
+        recorder.end(leaf, 9.0)
+        recorder.end(middle, 3.0)
+        recorder.end(root, 0.0)
+        assert middle.end == 9.0
+        assert root.end == 9.0
+
+    def test_duration_zero_while_open(self):
+        recorder = SpanRecorder()
+        span = recorder.begin("x", 1.0)
+        assert span.duration == 0.0
+        recorder.end(span, 4.0)
+        assert span.duration == 3.0
+
+    def test_unwind_marks_aborted(self):
+        recorder = SpanRecorder()
+        root = recorder.begin("request", 0.0)
+        recorder.begin("beacon_lookup", 0.0)
+        recorder.begin("peer_fetch", 0.5)
+        recorder.unwind(root, 2.0)
+        assert recorder.depth == 0
+        assert all(span.attrs.get("aborted") is True for span in recorder.spans)
+        assert all(span.end == 2.0 for span in recorder.spans)
+
+    def test_unwind_of_unknown_span_raises(self):
+        recorder = SpanRecorder()
+        a = recorder.begin("a", 0.0)
+        recorder.end(a, 1.0)
+        with pytest.raises(RuntimeError):
+            recorder.unwind(a, 2.0)
+
+    def test_max_spans_drops_monotonically(self):
+        recorder = SpanRecorder(max_spans=2)
+        for i in range(5):
+            span = recorder.begin(f"s{i}", float(i))
+            recorder.end(span, float(i) + 0.5)
+        assert [s.name for s in recorder.spans] == ["s0", "s1"]
+        assert recorder.dropped == 3
+        assert recorder.begun == 5
+
+    def test_dropped_spans_keep_parentage_consistent(self):
+        # Dropped spans still push/pop the stack, so ids never skew.
+        recorder = SpanRecorder(max_spans=1)
+        root = recorder.begin("root", 0.0)
+        child = recorder.begin("child", 0.0)
+        recorder.end(child, 1.0)
+        recorder.end(root, 2.0)
+        assert child.parent_id == root.span_id
+        assert recorder.spans == [root]
+
+    def test_clear_resets_everything(self):
+        recorder = SpanRecorder(max_spans=1)
+        recorder.begin("a", 0.0)
+        recorder.begin("b", 0.0)
+        recorder.clear()
+        assert recorder.spans == [] and recorder.depth == 0
+        assert recorder.dropped == 0
+        fresh = recorder.begin("c", 1.0)
+        assert fresh.parent_id is None  # stack really was reset
+
+
+class TestLogHistogram:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LogHistogram(lower=0.0)
+        with pytest.raises(ValueError):
+            LogHistogram(lower=10.0, upper=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(buckets_per_decade=0)
+
+    def test_bounds_are_data_independent(self):
+        # Two histograms fed different data keep identical bucket edges.
+        a, b = LogHistogram(), LogHistogram()
+        a.record(0.004)
+        b.record(123456.0)
+        assert a.bounds == b.bounds
+
+    def test_underflow_bucket_catches_zero_and_negatives(self):
+        hist = LogHistogram(lower=1.0, upper=100.0, buckets_per_decade=1)
+        hist.record(0.0)
+        hist.record(-5.0)  # clamps to zero
+        hist.record(0.5)
+        assert hist.counts[0] == 3
+        assert hist.min == 0.0
+        assert hist.percentile(0.5) == 0.0
+
+    def test_overflow_bucket(self):
+        hist = LogHistogram(lower=1.0, upper=100.0, buckets_per_decade=1)
+        hist.record(1e9)
+        assert hist.counts[-1] == 1
+        assert hist.percentile(0.99) == 1e9  # representative is observed max
+
+    def test_percentiles_nearest_rank(self):
+        hist = LogHistogram(lower=1.0, upper=1000.0, buckets_per_decade=1)
+        for value in (2.0, 3.0, 40.0, 50.0, 600.0):
+            hist.record(value)
+        # Ranks 1-2 land in (1, 10], rank 3-4 in (10, 100], rank 5 in (100, 1000].
+        assert hist.percentile(0.0) == 10.0  # rank 1 -> first bucket's edge
+        assert hist.percentile(0.40) == 10.0
+        assert hist.percentile(0.80) == 100.0
+        assert hist.percentile(1.0) == 600.0  # clamped down to observed max
+
+    def test_percentile_validates_q(self):
+        hist = LogHistogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_empty_histogram(self):
+        hist = LogHistogram()
+        assert hist.percentile(0.5) is None
+        assert hist.mean is None
+        summary = hist.to_dict()
+        assert summary["count"] == 0
+        assert summary["p99"] is None
+        assert summary["buckets"] == []
+
+    def test_to_dict_sparse_buckets(self):
+        hist = LogHistogram(lower=1.0, upper=100.0, buckets_per_decade=1)
+        hist.record(5.0)
+        hist.record(5.0)
+        hist.record(1e9)
+        summary = hist.to_dict()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(1_000_000_010.0)
+        assert [10.0, 2] in summary["buckets"]
+        assert [None, 1] in summary["buckets"]  # overflow edge has no bound
+        assert len(summary["buckets"]) == 2
+        json.dumps(summary)  # everything is JSON-serializable
+
+
+class TestTelemetry:
+    def test_count_and_gauge(self):
+        tel = Telemetry()
+        tel.count("requests.cloud_hit")
+        tel.count("requests.cloud_hit", 2)
+        tel.gauge("docs", 41.0)
+        tel.gauge("docs", 42.0)
+        assert tel.counters["requests.cloud_hit"] == 3
+        assert tel.gauges["docs"] == 42.0
+
+    def test_histogram_is_created_once(self):
+        tel = Telemetry()
+        assert tel.histogram("latency_ms.control") is tel.histogram("latency_ms.control")
+
+    def test_record_attempt_delivered(self):
+        tel = Telemetry()
+        tel.record_attempt("peer_transfer", 2048, 0.001)
+        assert tel.counters["fabric.attempts.peer_transfer"] == 1
+        assert "fabric.lost.peer_transfer" not in tel.counters
+        assert tel.histograms["bytes.peer_transfer"].count == 1
+        latency = tel.histograms["latency_ms.peer_transfer"]
+        assert latency.count == 1
+        assert latency.max == pytest.approx(0.001 * MINUTES_TO_MS)
+
+    def test_record_attempt_lost(self):
+        tel = Telemetry()
+        tel.record_attempt("origin_fetch", 512, None)
+        assert tel.counters["fabric.attempts.origin_fetch"] == 1
+        assert tel.counters["fabric.lost.origin_fetch"] == 1
+        assert tel.histograms["bytes.origin_fetch"].count == 1
+        assert "latency_ms.origin_fetch" not in tel.histograms
+
+    def test_observe_request_feeds_series_and_histogram(self):
+        tel = Telemetry()
+        tel.observe_request(5.0, 12.5)
+        tel.observe_request(6.0, 2.5)
+        assert len(tel.request_latencies) == 2
+        assert tel.histograms["latency_ms.request"].count == 2
+
+
+class TestExport:
+    def build_telemetry(self):
+        tel = Telemetry()
+        root = tel.begin_span("request", 0.0, cache=1, doc=7)
+        lookup = tel.begin_span("beacon_lookup", 0.0, beacon=2)
+        tel.end_span(lookup, 0.2, ok=True)
+        fetch = tel.begin_span("peer_fetch", 0.2, holder=3)
+        tel.end_span(fetch, 0.6, ok=True)
+        placement = tel.begin_span("placement", 0.6)
+        tel.end_span(placement, 0.6, stored=True)
+        tel.end_span(root, 0.6, outcome="cloud_hit")
+        tel.count("requests.cloud_hit")
+        tel.record_attempt("peer_transfer", 1024, 0.0001)
+        return tel
+
+    def test_span_trees_nesting(self):
+        tel = self.build_telemetry()
+        trees = span_trees(tel.spans.spans)
+        assert len(trees) == 1
+        root = trees[0]
+        assert root["name"] == "request"
+        assert [child["name"] for child in root["children"]] == [
+            "beacon_lookup",
+            "peer_fetch",
+            "placement",
+        ]
+
+    def test_span_trees_tolerates_orphans(self):
+        recorder = SpanRecorder()
+        orphan = recorder.begin("lonely", 1.0)
+        recorder.end(orphan, 2.0)
+        orphan.parent_id = 999  # parent never retained
+        trees = span_trees(recorder.spans)
+        assert [tree["name"] for tree in trees] == ["lonely"]
+
+    def test_find_tree(self):
+        tel = self.build_telemetry()
+        trees = span_trees(tel.spans.spans)
+        hit = find_tree(trees, {"request", "beacon_lookup", "peer_fetch", "placement"})
+        assert hit is trees[0]
+        assert find_tree(trees, {"request", "origin_fetch"}) is None
+
+    def test_render_span_tree(self):
+        tel = self.build_telemetry()
+        text = render_span_tree(span_trees(tel.spans.spans)[0])
+        assert "request" in text and "  beacon_lookup" in text
+        assert "outcome=cloud_hit" in text
+        assert "holder=3" in text
+
+    def test_render_summary(self):
+        text = render_summary(self.build_telemetry())
+        assert "requests.cloud_hit: 1" in text
+        assert "latency_ms.peer_transfer" in text
+        assert "recorded=4" in text
+
+    def test_jsonable_snapshot_shape(self):
+        snapshot = telemetry_to_jsonable(self.build_telemetry())
+        assert snapshot["schema_version"] == Telemetry.SCHEMA_VERSION
+        assert snapshot["counters"]["fabric.attempts.peer_transfer"] == 1
+        assert snapshot["spans"]["recorded"] == 4
+        assert snapshot["spans"]["dropped"] == 0
+
+    def test_dump_json_is_stable(self):
+        assert dump_json(self.build_telemetry()) == dump_json(self.build_telemetry())
+
+    def test_write_json_round_trips(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        write_json(self.build_telemetry(), str(path))
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == Telemetry.SCHEMA_VERSION
+
+
+class TestExperimentIntegration:
+    def run_traced(self):
+        corpus = build_corpus(60, fixed_size=2048)
+        generator = SyntheticTraceGenerator(
+            WorkloadConfig(
+                num_documents=60,
+                num_caches=4,
+                request_rate_per_cache=30.0,
+                update_rate=10.0,
+                duration_minutes=8.0,
+                seed=11,
+            )
+        )
+        config = CloudConfig(
+            num_caches=4,
+            num_rings=2,
+            intra_gen=100,
+            cycle_length=4.0,
+            placement=PlacementScheme.AD_HOC,
+            seed=11,
+        )
+        telemetry = Telemetry()
+        result = run_experiment(
+            config,
+            corpus,
+            generator.requests(),
+            generator.updates(),
+            duration=8.0,
+            telemetry=telemetry,
+        )
+        return result, telemetry
+
+    def test_same_seed_runs_are_bit_identical(self):
+        _, first = self.run_traced()
+        _, second = self.run_traced()
+        assert dump_json(first) == dump_json(second)
+
+    def test_traced_run_covers_the_protocol(self):
+        result, telemetry = self.run_traced()
+        assert result.requests > 0
+        # Every handled request opened a root span and bumped a counter.
+        requests_counted = sum(
+            count
+            for name, count in telemetry.counters.items()
+            if name.startswith("requests.")
+        )
+        assert requests_counted == result.requests
+        assert telemetry.counters["updates.handled"] == result.updates
+        assert telemetry.spans.depth == 0  # every span was closed
+        # A collaborative miss reconstructs as the canonical tree.
+        trees = span_trees(telemetry.spans.spans)
+        collaborative = find_tree(
+            trees, {"request", "beacon_lookup", "peer_fetch", "placement"}
+        )
+        assert collaborative is not None
+        assert telemetry.histograms["latency_ms.request"].count == result.requests
+
+    def test_spans_nest_inside_their_roots(self):
+        _, telemetry = self.run_traced()
+        for tree in span_trees(telemetry.spans.spans):
+            assert tree["name"] in {"request", "update"}
+            start, end = tree["start"], tree["end"]
+            assert end is not None and end >= start
+            for child in tree["children"]:
+                assert child["start"] >= start
+                assert child["end"] is not None and child["end"] <= end

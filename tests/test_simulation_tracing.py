@@ -26,6 +26,22 @@ class TestLifecycle:
         sim.run_until(2.0)
         assert tracer.dispatched == 0
 
+    def test_detach_restores_original_schedule_at(self):
+        sim = Simulator()
+        original = sim.schedule_at
+        tracer = EventTracer().attach(sim)
+        assert sim.schedule_at is not original  # attach really wrapped it
+        tracer.detach()
+        assert sim.schedule_at == original
+
+    def test_events_traced_before_detach_still_record(self):
+        sim = Simulator()
+        tracer = EventTracer().attach(sim)
+        sim.schedule_at(1.0, lambda: None, label="armed-while-attached")
+        tracer.detach()
+        sim.run_until(2.0)
+        assert tracer.labels_in_order() == ["armed-while-attached"]
+
     def test_detach_twice_is_noop(self):
         tracer = EventTracer().attach(Simulator())
         tracer.detach()
@@ -57,13 +73,39 @@ class TestRecording:
         sim.run_until(2.0)
         assert tracer.labels_in_order() == ["<unlabelled>"]
 
-    def test_pre_attach_events_not_traced(self):
+    def test_pre_attach_events_are_traced(self):
+        # Regression test for the attach blind spot: events already queued
+        # when the tracer attaches must be traced, not silently skipped.
         sim = Simulator()
         sim.schedule_at(1.0, lambda: None, label="early")
         tracer = EventTracer().attach(sim)
         sim.schedule_at(2.0, lambda: None, label="late")
         sim.run_until(5.0)
-        assert tracer.labels_in_order() == ["late"]
+        assert tracer.labels_in_order() == ["early", "late"]
+
+    def test_pre_attach_event_metadata_preserved(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(
+            1.0,
+            lambda: fired.append(True),
+            priority=EventPriority.CONTROL,
+            label="early",
+        )
+        tracer = EventTracer().attach(sim)
+        sim.run_until(2.0)
+        assert fired == [True]  # the original callback still runs
+        record = tracer.records()[0]
+        assert record.priority is EventPriority.CONTROL
+        assert record.label == "early"
+
+    def test_pre_attach_cancelled_events_not_traced(self):
+        sim = Simulator()
+        event = sim.schedule_at(1.0, lambda: None, label="cancelled")
+        event.cancel()
+        tracer = EventTracer().attach(sim)
+        sim.run_until(2.0)
+        assert tracer.labels_in_order() == []
 
     def test_callback_still_runs(self):
         sim = Simulator()
