@@ -2,19 +2,26 @@
 
 Unlike the figure benches (scientific reproductions), this is a pure
 throughput probe of the hot path: a fixed-seed request/update mix driven
-straight into one cloud, no simulator in the loop. The archived
-``BENCH_protocol.json`` gives the perf trajectory a baseline to compare
-against across refactors of the protocol plane.
+straight into one cloud, no simulator in the loop. Each run also writes the
+schema-versioned ``BENCH_protocol.json`` at the repository root; the
+committed copy of that file is the perf-trajectory baseline CI guards
+against.
 
-No latency/throughput thresholds are asserted (CI machines vary); the
-assertions pin the *work done* — same seed, same outcome mix — so the
-number archived is always measuring the same workload.
+The measurement is best-of-``TRIALS``: every trial rebuilds the cloud and
+replays the identical seeded workload, so each timed segment does exactly
+the same work and the minimum elapsed time is the least-noise estimate of
+the hot path's cost. No absolute throughput threshold is asserted here (CI
+machines vary); the assertions pin the *work done* — same seed, same
+outcome mix, same dispatch count across trials — so the archived number is
+always measuring the same workload.
 """
 
 from __future__ import annotations
 
+import json
 import random
 import time
+from pathlib import Path
 
 from benchmarks.conftest import archive
 from repro.core.cloud import CacheCloud
@@ -26,6 +33,20 @@ NUM_DOCS = 500
 NUM_REQUESTS = 20_000
 WARMUP_REQUESTS = 2_000
 SEED = 42
+NUM_CACHES = 10
+NUM_RINGS = 5
+
+#: Independent cold-start measurements; the best (minimum elapsed) one is
+#: archived. Three suffices: trials are deterministic replicas, so extra
+#: trials only sample machine noise, not workload variance.
+TRIALS = 3
+
+#: The committed perf-trajectory baseline (repository root).
+ROOT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_protocol.json"
+
+#: Schema of the root artifact. Bump when fields change meaning so the CI
+#: guard never silently compares incompatible documents.
+ROOT_SCHEMA_VERSION = 2
 
 
 def _workload(num_events: int, num_caches: int, start: int = 0):
@@ -41,34 +62,42 @@ def _workload(num_events: int, num_caches: int, start: int = 0):
     return events
 
 
-def test_protocol_microbench(benchmark):
+def _build_cloud() -> CacheCloud:
     corpus = build_corpus(NUM_DOCS, random.Random(7))
     config = CloudConfig(
-        num_caches=10,
-        num_rings=5,
+        num_caches=NUM_CACHES,
+        num_rings=NUM_RINGS,
         intra_gen=1000,
         assignment=AssignmentScheme.DYNAMIC,
         placement=PlacementScheme.AD_HOC,
         seed=SEED,
     )
-    cloud = CacheCloud(config, corpus)
+    return CacheCloud(config, corpus)
 
-    for cache_id, doc_id, now in _workload(WARMUP_REQUESTS, config.num_caches):
+
+def _run_trial() -> tuple[float, CacheCloud]:
+    """One cold-start measurement: fresh cloud, warmup, timed segment."""
+    cloud = _build_cloud()
+    for cache_id, doc_id, now in _workload(WARMUP_REQUESTS, NUM_CACHES):
         cloud.handle_request(cache_id, doc_id, now)
+    timed = _workload(NUM_REQUESTS, NUM_CACHES, start=WARMUP_REQUESTS)
+    handle_request = cloud.handle_request
+    handle_update = cloud.handle_update
+    start = time.perf_counter()
+    for i, (cache_id, doc_id, now) in enumerate(timed):
+        handle_request(cache_id, doc_id, now)
+        if i % 20 == 19:
+            handle_update((3 * i) % NUM_DOCS, now)
+    elapsed = time.perf_counter() - start
+    return elapsed, cloud
 
-    timed = _workload(
-        NUM_REQUESTS, config.num_caches, start=WARMUP_REQUESTS
-    )
 
-    def run():
-        start = time.perf_counter()
-        for i, (cache_id, doc_id, now) in enumerate(timed):
-            cloud.handle_request(cache_id, doc_id, now)
-            if i % 20 == 19:
-                cloud.handle_update((3 * i) % NUM_DOCS, now)
-        return time.perf_counter() - start
+def test_protocol_microbench(benchmark):
+    def measure():
+        return [_run_trial() for _ in range(TRIALS)]
 
-    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    trials = benchmark.pedantic(measure, rounds=1, iterations=1)
+    elapsed, cloud = min(trials, key=lambda t: t[0])
     rps = NUM_REQUESTS / elapsed
     stats = cloud.aggregate_stats()
     outcome_mix = {
@@ -77,19 +106,54 @@ def test_protocol_microbench(benchmark):
         "origin_fetches": stats.origin_fetches,
     }
 
-    archive(
-        {
+    # Trials are deterministic replicas of one workload: every one must do
+    # identical work, or the minimum-elapsed pick would be comparing
+    # different computations.
+    for _, trial_cloud in trials:
+        trial_stats = trial_cloud.aggregate_stats()
+        assert trial_stats.local_hits == stats.local_hits
+        assert trial_stats.cloud_hits == stats.cloud_hits
+        assert trial_stats.origin_fetches == stats.origin_fetches
+        assert trial_cloud.fabric.stats.dispatches == cloud.fabric.stats.dispatches
+
+    payload = {
+        "seed": SEED,
+        "num_docs": NUM_DOCS,
+        "warmup_requests": WARMUP_REQUESTS,
+        "timed_requests": NUM_REQUESTS,
+        "trials": TRIALS,
+        "elapsed_seconds": elapsed,
+        "requests_per_second": rps,
+        "fabric_dispatches": cloud.fabric.stats.dispatches,
+        "outcome_mix": outcome_mix,
+    }
+    archive(payload, "BENCH_protocol")
+
+    # The root artifact is the committed baseline of the perf trajectory:
+    # seed-pinned, schema-versioned, stable key order for reviewable diffs.
+    root_doc = {
+        "schema_version": ROOT_SCHEMA_VERSION,
+        "benchmark": "protocol_microbench",
+        "workload": {
             "seed": SEED,
             "num_docs": NUM_DOCS,
+            "num_caches": NUM_CACHES,
+            "num_rings": NUM_RINGS,
             "warmup_requests": WARMUP_REQUESTS,
             "timed_requests": NUM_REQUESTS,
-            "elapsed_seconds": elapsed,
-            "requests_per_second": rps,
-            "fabric_dispatches": cloud.fabric.stats.dispatches,
-            "outcome_mix": outcome_mix,
+            "assignment": "dynamic",
+            "placement": "ad_hoc",
         },
-        "BENCH_protocol",
+        "trials": TRIALS,
+        "elapsed_seconds_best": elapsed,
+        "requests_per_second": rps,
+        "fabric_dispatches": cloud.fabric.stats.dispatches,
+        "outcome_mix": outcome_mix,
+    }
+    ROOT_ARTIFACT.write_text(
+        json.dumps(root_doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
     benchmark.extra_info["requests_per_second"] = rps
     benchmark.extra_info.update(outcome_mix)
 

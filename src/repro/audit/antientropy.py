@@ -246,9 +246,9 @@ class AntiEntropyProcess:
         # beacon cannot trust its own version knowledge (the lost
         # server-to-beacon push is exactly the failure being repaired).
         digest_bytes = CONTROL_MESSAGE_BYTES + DIGEST_ENTRY_BYTES * len(sample)
-        if not self._send(beacon_id, cloud.origin.node_id, CONTROL_MESSAGE_BYTES):
-            return 0
-        if not self._send(cloud.origin.node_id, beacon_id, digest_bytes):
+        if not self._exchange(
+            beacon_id, cloud.origin.node_id, CONTROL_MESSAGE_BYTES, digest_bytes
+        ):
             return 0
         repaired = 0
         for doc_id in sample:
@@ -279,9 +279,10 @@ class AntiEntropyProcess:
             if holder != beacon_id:
                 # Digest round-trip with the holder; either leg can be lost.
                 self.stats.digests_sent += 1
-                if not self._send(beacon_id, holder, CONTROL_MESSAGE_BYTES):
-                    continue
-                if not self._send(holder, beacon_id, CONTROL_MESSAGE_BYTES):
+                if not self._exchange(
+                    beacon_id, holder, CONTROL_MESSAGE_BYTES,
+                    CONTROL_MESSAGE_BYTES,
+                ):
                     continue
             copy = holder_cache.copy_of(doc_id)
             if copy is None:
@@ -400,6 +401,22 @@ class AntiEntropyProcess:
         if not delivery.ok:
             self.stats.messages_lost += 1
         return delivery.ok
+
+    def _exchange(
+        self, src: int, dst: int, forward_bytes: int, reverse_bytes: int
+    ) -> bool:
+        """A digest round-trip; returns whether both legs arrived.
+
+        Rides the fabric's same-tick exchange so the pair charges one meter
+        transaction on the fast path; under faults each leg is losable
+        individually and counted like any other anti-entropy message.
+        """
+        forward_ok, reverse_ok = self.cloud.fabric.send_exchange(
+            src, dst, forward_bytes, reverse_bytes, TrafficCategory.ANTI_ENTROPY
+        )
+        if not forward_ok or not reverse_ok:
+            self.stats.messages_lost += 1
+        return forward_ok and reverse_ok
 
     def __repr__(self) -> str:
         return (

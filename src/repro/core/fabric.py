@@ -42,17 +42,42 @@ Dispatch styles
   digests) that is accounted and logged but not subject to the fault
   middleware; the fault model covers the request/update protocols, and
   these transfers carry their own robustness story (see DESIGN.md).
+
+The dispatch fast path
+----------------------
+When no middleware or observer is attached — ``faults is None``,
+``dispatch_log is None``, and ``telemetry is None`` — every dispatch is
+known in advance to succeed on its single attempt with nothing watching the
+wire. The fabric precomputes that condition into one boolean
+(``_fast_path``, resynced by every attach/detach), and the dispatch styles
+collapse to a single inlined meter-and-ledger charge plus a latency read:
+no retry loop, no per-attempt branching, no ``DispatchRecord``
+construction, and no ``Delivery`` allocation in the common zero-latency
+case (an interned ``ok=True, latency=0.0, attempts=1`` singleton is
+returned instead). Same-tick system-plane fan-outs
+(:meth:`send_system_batch`) and the anti-entropy digest pair
+(:meth:`send_exchange`) additionally batch into one meter transaction.
+
+Equivalence holds by construction: the fast path charges the same bytes
+and message counts to the same categories, returns the same latencies, and
+emits the same trace messages as the general path — it only skips work
+whose *outputs* are unobservable in that configuration (per-attempt log
+records, telemetry samples, retry bookkeeping that cannot trigger without
+an injector). The structural-equivalence suite in
+``tests/test_core_fabric.py`` pins this: meter, ledger, stats, outcomes and
+trace agree between a fast-path run and a fully observed run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.protocol import ProtocolTrace
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import RetryPolicy
 from repro.network.bandwidth import TrafficCategory
+from repro.network.topology import ms_to_minutes
 from repro.network.transport import (
     CONTROL_MESSAGE_BYTES,
     TRANSFER_HEADER_BYTES,
@@ -61,6 +86,10 @@ from repro.network.transport import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime import
     from repro.observe.registry import Telemetry
+
+#: Control traffic category, hoisted so the RPC fast path pays no enum
+#: attribute lookup per call.
+_CONTROL = TrafficCategory.CONTROL
 
 
 @dataclass(frozen=True)
@@ -85,6 +114,9 @@ class DispatchRecord:
     which is exactly the quantity that must be identical between a run with
     no injector and a run with a zero-fault injector (the structural
     equivalence guarantee tested in ``tests/test_core_fabric.py``).
+    Construction is lazy: no record object exists unless a capture list is
+    attached (capture also disables the fast path, so the general path's
+    per-attempt bookkeeping sees every wire attempt).
     """
 
     src: int
@@ -114,6 +146,12 @@ class FabricStats:
 #: roles use it as the "gave up with nothing accrued" zero value).
 FAILED_FREE = Delivery(ok=False, latency=0.0, attempts=0)
 
+#: Interned outcome of the overwhelmingly common dispatch: first attempt,
+#: delivered, zero latency (topology-less transports and intra-node hops).
+#: The fast path returns this singleton instead of allocating; ``Delivery``
+#: is frozen, so sharing is safe.
+DELIVERED_FREE = Delivery(ok=True, latency=0.0, attempts=1)
+
 
 class MessageFabric:
     """Single dispatch seam between the protocol roles of one cloud.
@@ -133,18 +171,29 @@ class MessageFabric:
     ) -> None:
         self.transport = transport
         self.trace = trace if trace is not None else ProtocolTrace()
-        self.faults: Optional[FaultInjector] = None
         self.stats = FabricStats()
-        #: When not ``None``, every wire attempt is appended here.
-        self.dispatch_log: Optional[List[DispatchRecord]] = None
-        #: Optional telemetry sink; every wire attempt records its category,
-        #: bytes, and delivered latency. ``None`` costs one identity check
-        #: per attempt and nothing else (the zero-overhead-when-off seam).
-        self.telemetry: Optional["Telemetry"] = None
+        self._faults: Optional[FaultInjector] = None
+        self._dispatch_log: Optional[List[DispatchRecord]] = None
+        self._telemetry: Optional["Telemetry"] = None
+        #: True iff no middleware/observer is attached; see module docs.
+        self._fast_path = True
+
+    def _sync_fast_path(self) -> None:
+        """Recompute the fast-path flag after an attach/detach."""
+        self._fast_path = (
+            self._faults is None
+            and self._dispatch_log is None
+            and self._telemetry is None
+        )
 
     # ------------------------------------------------------------------
     # Middleware management
     # ------------------------------------------------------------------
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The attached fault middleware, or ``None``."""
+        return self._faults
+
     def attach_faults(self, injector: FaultInjector) -> None:
         """Install ``injector`` as the delivery middleware.
 
@@ -153,7 +202,8 @@ class MessageFabric:
         """
         if injector.transport is not self.transport:
             raise ValueError("fault injector must wrap the fabric's transport")
-        self.faults = injector
+        self._faults = injector
+        self._sync_fast_path()
 
     def detach_faults(self) -> None:
         """Remove the fault middleware (e.g. for post-run quiescing).
@@ -161,12 +211,38 @@ class MessageFabric:
         The injector's accumulated statistics survive on the detached
         object; only future dispatches bypass it.
         """
-        self.faults = None
+        self._faults = None
+        self._sync_fast_path()
 
     @property
     def retry_policy(self) -> Optional[RetryPolicy]:
         """The attached plan's retry policy, or ``None`` without faults."""
-        return None if self.faults is None else self.faults.plan.retry
+        return None if self._faults is None else self._faults.plan.retry
+
+    # ------------------------------------------------------------------
+    # Observers (dispatch capture + telemetry)
+    # ------------------------------------------------------------------
+    @property
+    def dispatch_log(self) -> Optional[List[DispatchRecord]]:
+        """The live wire-attempt capture list, or ``None``."""
+        return self._dispatch_log
+
+    @dispatch_log.setter
+    def dispatch_log(self, records: Optional[List[DispatchRecord]]) -> None:
+        self._dispatch_log = records
+        self._sync_fast_path()
+
+    @property
+    def telemetry(self) -> Optional["Telemetry"]:
+        """Optional telemetry sink; every wire attempt records its
+        category, bytes, and delivered latency. ``None`` keeps the fast
+        path enabled (the zero-overhead-when-off seam)."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        self._telemetry = telemetry
+        self._sync_fast_path()
 
     # ------------------------------------------------------------------
     # Tracing
@@ -188,6 +264,20 @@ class MessageFabric:
     # ------------------------------------------------------------------
     # Wire attempts (the only two ways bytes leave a node)
     # ------------------------------------------------------------------
+    def _charge(self, num_bytes: int, category: TrafficCategory) -> None:
+        """Fast-path accounting: one message on the meter and the ledger.
+
+        Inlines :meth:`Transport.send` minus the latency read. Callers are
+        internal and pass validated non-negative sizes, so the meter's
+        negative-bytes guard is skipped here.
+        """
+        transport = self.transport
+        transport.messages_attempted += 1
+        transport.bytes_attempted += num_bytes
+        meter = transport.meter
+        meter._bytes[category] += num_bytes
+        meter._messages[category] += 1
+
     def _attempt(
         self, src: int, dst: int, num_bytes: int, category: TrafficCategory
     ) -> Optional[float]:
@@ -197,19 +287,19 @@ class MessageFabric:
         message. The attempt is charged to the meter and the transport's
         ledger either way — lost bytes still crossed part of the wire.
         """
-        if self.dispatch_log is not None:
-            self.dispatch_log.append(
+        if self._dispatch_log is not None:
+            self._dispatch_log.append(
                 DispatchRecord(src, dst, num_bytes, category.value)
             )
         self.stats.dispatches += 1
-        if self.faults is None:
+        if self._faults is None:
             latency: Optional[float] = self.transport.send(
                 src, dst, num_bytes, category
             )
         else:
-            latency = self.faults.deliver(src, dst, num_bytes, category)
-        if self.telemetry is not None:
-            self.telemetry.record_attempt(category.value, num_bytes, latency)
+            latency = self._faults.deliver(src, dst, num_bytes, category)
+        if self._telemetry is not None:
+            self._telemetry.record_attempt(category.value, num_bytes, latency)
         return latency
 
     def _bare(
@@ -220,14 +310,14 @@ class MessageFabric:
         Used for forced deliveries and system-plane traffic; still logged
         and charged so the conservation invariant holds.
         """
-        if self.dispatch_log is not None:
-            self.dispatch_log.append(
+        if self._dispatch_log is not None:
+            self._dispatch_log.append(
                 DispatchRecord(src, dst, num_bytes, category.value)
             )
         self.stats.dispatches += 1
         latency = self.transport.send(src, dst, num_bytes, category)
-        if self.telemetry is not None:
-            self.telemetry.record_attempt(category.value, num_bytes, latency)
+        if self._telemetry is not None:
+            self._telemetry.record_attempt(category.value, num_bytes, latency)
         return latency
 
     # ------------------------------------------------------------------
@@ -246,7 +336,7 @@ class MessageFabric:
             src,
             dst,
             CONTROL_MESSAGE_BYTES,
-            TrafficCategory.CONTROL,
+            _CONTROL,
             reliable=reliable,
             message=message,
         )
@@ -290,6 +380,16 @@ class MessageFabric:
         timeout counter (fire-and-forget), while every lost reliable
         attempt costs the policy's timeout plus the retransmission backoff.
         """
+        if self._fast_path:
+            # No middleware, no observers: the single attempt always lands.
+            self.stats.dispatches += 1
+            self._charge(num_bytes, category)
+            if message is not None:
+                self.trace.emit(message)
+            topology = self.transport.topology
+            if topology is None or src == dst:
+                return DELIVERED_FREE
+            return Delivery(True, ms_to_minutes(topology.latency_ms(src, dst)), 1)
         policy = self.retry_policy
         retrying = reliable and policy is not None
         attempts = policy.max_attempts if retrying and policy is not None else 1
@@ -320,7 +420,12 @@ class MessageFabric:
     ) -> float:
         """Reliably dispatch a document, forcing delivery past the budget.
 
-        Returns the accumulated latency; the message *always* arrives.
+        Returns the accumulated latency; the message *always* arrives —
+        and is therefore always traced. A transfer delivered on the forced
+        out-of-band leg reached the client just as surely as one the retry
+        budget covered, so the trace must record it either way (the
+        regression otherwise: under heavy loss a captured trace disagreed
+        with what the client actually received).
         """
         delivery = self.send_document(
             src, dst, document_bytes, category, reliable=True, message=message
@@ -328,21 +433,88 @@ class MessageFabric:
         if delivery.ok:
             return delivery.latency
         self.stats.forced_deliveries += 1
-        return delivery.latency + self._bare(
+        latency = delivery.latency + self._bare(
             src, dst, document_bytes + TRANSFER_HEADER_BYTES, category
         )
+        if message is not None:
+            self.trace.emit(message)
+        return latency
 
     def send_system(
         self, src: int, dst: int, num_bytes: int, category: TrafficCategory
     ) -> float:
         """Dispatch infrastructure-plane traffic (no fault middleware)."""
+        if self._fast_path:
+            self.stats.dispatches += 1
+            self._charge(num_bytes, category)
+            topology = self.transport.topology
+            if topology is None or src == dst:
+                return 0.0
+            return ms_to_minutes(topology.latency_ms(src, dst))
         return self._bare(src, dst, num_bytes, category)
 
     def send_system_control(self, src: int, dst: int) -> float:
         """One control-sized system-plane message."""
-        return self._bare(
-            src, dst, CONTROL_MESSAGE_BYTES, TrafficCategory.CONTROL
-        )
+        return self.send_system(src, dst, CONTROL_MESSAGE_BYTES, _CONTROL)
+
+    def send_system_batch(
+        self,
+        legs: Sequence[Tuple[int, int, int]],
+        category: TrafficCategory,
+    ) -> float:
+        """Same-tick system-plane sends batched into one meter transaction.
+
+        ``legs`` is a sequence of ``(src, dst, num_bytes)`` wire attempts
+        that all happen at the same simulated instant (a cycle's range
+        announcements, a buddy-sync sweep). Returns the slowest one-way
+        latency — the batch has "landed" when its last leg has.
+
+        On the fast path the whole batch is charged in one meter/ledger
+        transaction; with observers attached each leg goes through
+        :meth:`_bare` individually so capture and telemetry see the exact
+        per-attempt stream (message counts and byte totals are identical
+        either way).
+        """
+        if not legs:
+            return 0.0
+        if not self._fast_path:
+            slowest = 0.0
+            for src, dst, num_bytes in legs:
+                latency = self._bare(src, dst, num_bytes, category)
+                if latency > slowest:
+                    slowest = latency
+            return slowest
+        self.stats.dispatches += len(legs)
+        return self.transport.send_batch(legs, category)
+
+    def send_exchange(
+        self,
+        src: int,
+        dst: int,
+        forward_bytes: int,
+        reverse_bytes: int,
+        category: TrafficCategory,
+    ) -> Tuple[bool, bool]:
+        """A same-tick best-effort request/response pair (digest exchange).
+
+        Returns ``(forward_ok, reverse_ok)``; the reverse leg is only
+        attempted when the forward leg arrived (a server cannot answer a
+        digest it never received). On the fast path both legs are charged
+        as one meter transaction.
+        """
+        if self._fast_path:
+            total = forward_bytes + reverse_bytes
+            self.stats.dispatches += 2
+            transport = self.transport
+            transport.messages_attempted += 2
+            transport.bytes_attempted += total
+            transport.meter.record_batch(category, total, 2)
+            return (True, True)
+        forward = self.send(src, dst, forward_bytes, category, reliable=False)
+        if not forward.ok:
+            return (False, False)
+        reverse = self.send(dst, src, reverse_bytes, category, reliable=False)
+        return (True, reverse.ok)
 
     def request_response(
         self,
@@ -350,18 +522,43 @@ class MessageFabric:
         dst: int,
         hops: int,
         *,
-        on_request_delivered: Optional[Callable[[], None]] = None,
+        irh: int = 0,
+        on_request_delivered: Optional[Callable[[int], None]] = None,
         request: Optional[object] = None,
     ) -> Delivery:
         """A control-sized RPC: ``hops`` request legs plus one response leg.
 
         The whole RPC retries as a unit under the attached retry policy.
-        ``on_request_delivered`` fires on every attempt whose request legs
-        all arrive — even if the response is then lost — mirroring a real
-        server that does its work before its reply goes missing (this is
-        how beacon load counters tick under loss). ``request`` is traced at
-        the same point.
+        ``on_request_delivered`` fires with ``irh`` on every attempt whose
+        request legs all arrive — even if the response is then lost —
+        mirroring a real server that does its work before its reply goes
+        missing (this is how beacon load counters tick under loss; passing
+        the IrH value through lets callers hand over a bound method instead
+        of allocating a closure per request). ``request`` is traced at the
+        same point.
         """
+        if self._fast_path:
+            # Every leg lands: one meter transaction for the whole RPC.
+            legs = hops + 1
+            leg_bytes = legs * CONTROL_MESSAGE_BYTES
+            self.stats.dispatches += legs
+            transport = self.transport
+            transport.messages_attempted += legs
+            transport.bytes_attempted += leg_bytes
+            meter = transport.meter
+            meter._bytes[_CONTROL] += leg_bytes
+            meter._messages[_CONTROL] += legs
+            if on_request_delivered is not None:
+                on_request_delivered(irh)
+            if request is not None:
+                self.trace.emit(request)
+            topology = transport.topology
+            if topology is None or src == dst:
+                return DELIVERED_FREE
+            latency = hops * ms_to_minutes(
+                topology.latency_ms(src, dst)
+            ) + ms_to_minutes(topology.latency_ms(dst, src))
+            return Delivery(True, latency, 1)
         policy = self.retry_policy
         attempts = policy.max_attempts if policy is not None else 1
         latency = 0.0
@@ -372,20 +569,18 @@ class MessageFabric:
                 latency += policy.backoff_minutes(attempt - 1)
             delivered = True
             for _ in range(hops):
-                leg = self._attempt(
-                    src, dst, CONTROL_MESSAGE_BYTES, TrafficCategory.CONTROL
-                )
+                leg = self._attempt(src, dst, CONTROL_MESSAGE_BYTES, _CONTROL)
                 if leg is None:
                     delivered = False
                     break
                 latency += leg
             if delivered:
                 if on_request_delivered is not None:
-                    on_request_delivered()
+                    on_request_delivered(irh)
                 if request is not None:
                     self.trace.emit(request)
                 response = self._attempt(
-                    dst, src, CONTROL_MESSAGE_BYTES, TrafficCategory.CONTROL
+                    dst, src, CONTROL_MESSAGE_BYTES, _CONTROL
                 )
                 if response is None:
                     delivered = False
@@ -399,8 +594,9 @@ class MessageFabric:
         return Delivery(False, latency, attempts)
 
     def __repr__(self) -> str:
-        middleware = "faults" if self.faults is not None else "none"
+        middleware = "faults" if self._faults is not None else "none"
         return (
             f"MessageFabric(transport={self.transport!r}, "
-            f"middleware={middleware}, stats={self.stats!r})"
+            f"middleware={middleware}, fast_path={self._fast_path}, "
+            f"stats={self.stats!r})"
         )

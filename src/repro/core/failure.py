@@ -79,7 +79,12 @@ class FailureResilienceManager:
     # Lazy replication
     # ------------------------------------------------------------------
     def sync(self, now: float) -> None:
-        """Ship each live beacon's directory snapshot to its buddy."""
+        """Ship each live beacon's directory snapshot to its buddy.
+
+        Every shipment of one sweep happens at the same tick, so the legs
+        batch into a single meter transaction on the fabric's fast path.
+        """
+        legs: List[Tuple[int, int, int]] = []
         for cache_id, beacon in self._cloud.beacons.items():
             if not self._cloud.caches[cache_id].alive:
                 continue
@@ -88,12 +93,12 @@ class FailureResilienceManager:
                 continue
             snapshot = beacon.directory.snapshot()
             self._replicas[cache_id] = (buddy, snapshot)
-            self._cloud.fabric.send_system(
-                cache_id,
-                buddy,
-                max(1, len(snapshot)) * DIRECTORY_ENTRY_BYTES,
-                TrafficCategory.DIRECTORY_MIGRATION,
+            legs.append(
+                (cache_id, buddy, max(1, len(snapshot)) * DIRECTORY_ENTRY_BYTES)
             )
+        self._cloud.fabric.send_system_batch(
+            legs, TrafficCategory.DIRECTORY_MIGRATION
+        )
         self.syncs += 1
 
     # ------------------------------------------------------------------

@@ -110,11 +110,15 @@ class CacheNode:
             lookup_span = tel.begin_span(
                 "beacon_lookup", now, beacon=beacon_id, hops=hops
             )
+        # The delivery callback is the beacon state's bound ``record_lookup``
+        # with the IrH value threaded through the fabric — no per-request
+        # closure allocation on the hot path.
         lookup = fabric.request_response(
             cache_id,
             beacon_id,
             hops,
-            on_request_delivered=lambda: beacon_state.record_lookup(irh),
+            irh=irh,
+            on_request_delivered=beacon_state.record_lookup,
             request=request,
         )
         if tel is not None and lookup_span is not None:
@@ -392,6 +396,14 @@ class CacheNode:
         request = fabric.send_control(
             cache.cache_id, cloud.origin.node_id, reliable=True
         )
+        if not request.ok:
+            # The origin never heard the request: the client's wait
+            # (timeouts + backoff, already in ``request.latency``) still
+            # counts, and the fallback counter must tick exactly as it does
+            # on every cooperative path. The document leg below is forced —
+            # the origin is the last line of service — so the client is
+            # still served.
+            cloud.fault_origin_fallbacks += 1
         transfer_latency = fabric.send_forced_document(
             cloud.origin.node_id,
             cache.cache_id,
@@ -486,18 +498,22 @@ class CacheNode:
         """Everything the placement policy needs for one store decision."""
         cloud = self._cloud
         cache = self.cache
+        caches = cloud.caches
         holders = cloud.beacons[beacon_id].directory.holders(doc_id)
         holders.discard(cache.cache_id)
+        # Directory entries can outlive their caches (churn kills a holder
+        # before its entries are repaired); the policy must only see live
+        # replicas, in ``existing_holders`` and ``residences`` alike —
+        # phantom holders would deflate the DAI component.
+        live = [h for h in holders if caches[h].alive]
         residences = [
-            cloud.caches[h].storage.expected_residence(now)
-            for h in holders
-            if cloud.caches[h].alive
+            caches[h].storage.expected_residence(now) for h in live
         ]
         finite = [r for r in residences if r is not None]
         # An existing holder with no contention keeps its copy indefinitely;
         # only when every holder is under contention is the minimum finite.
         min_residence: Optional[float]
-        if holders and len(finite) == len(residences) and finite:
+        if finite and len(finite) == len(residences):
             min_residence = min(finite)
         else:
             min_residence = None
@@ -508,7 +524,7 @@ class CacheNode:
             size_bytes=size,
             now=now,
             beacon_id=beacon_id,
-            existing_holders=frozenset(holders),
+            existing_holders=frozenset(live),
             local_access_rate=cache.frequencies.rate_of(doc_id, now),
             cache_mean_rate=cache.frequencies.mean_rate(now),
             update_rate=update_tracker.rate(now) if update_tracker else 0.0,

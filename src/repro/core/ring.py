@@ -159,6 +159,10 @@ class BeaconRing:
         #: Arc start of each member, in member order; arc ``i`` runs from
         #: ``_starts[i]`` to ``_starts[(i+1) % m] - 1`` on the circle.
         self._starts: List[int] = self._equal_split_starts()
+        #: Memoized IrH -> owner table; every lookup on the request path
+        #: routes through :meth:`owner_of`, so the linear arc scan is paid
+        #: once per assignment change instead of once per lookup.
+        self._owner_cache: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -209,13 +213,13 @@ class BeaconRing:
 
     def owner_of(self, irh: int) -> int:
         """The beacon point whose arc contains ``irh``."""
+        table = self._owner_cache
+        if table is None:
+            table = self.owner_table()
+            self._owner_cache = table
         if not 0 <= irh < self.intra_gen:
             raise ValueError(f"IrH value {irh} outside [0, {self.intra_gen})")
-        for index, member in enumerate(self._members):
-            offset = (irh - self._starts[index]) % self.intra_gen
-            if offset < self._width(index):
-                return member
-        raise AssertionError("arcs must cover the whole circle")  # pragma: no cover
+        return table[irh]
 
     def owner_table(self) -> List[int]:
         """IrH value -> owner cache id, for the full circle."""
@@ -247,6 +251,7 @@ class BeaconRing:
             (the paper's approximation).
         """
         m = len(self._members)
+        self._owner_cache = None  # boundaries may move below
         old_table = self.owner_table()
         if m == 1:
             only = self._members[0]
@@ -349,6 +354,7 @@ class BeaconRing:
         """
         if len(self._members) == 1:
             raise ValueError("cannot remove the only member of a ring")
+        self._owner_cache = None
         index = self._members.index(cache_id)
         m = len(self._members)
         successor_index = (index + 1) % m
@@ -370,6 +376,7 @@ class BeaconRing:
         m = len(self._members)
         if not 0 <= index <= m:
             raise IndexError(f"index {index} out of range")
+        self._owner_cache = None
         donor_index = index % m
         donor_width = self._width(donor_index)
         if donor_width < 2:

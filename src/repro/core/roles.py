@@ -62,12 +62,16 @@ class BeaconRole:
         break toward the lowest cache id for determinism).
         """
         cloud = self._cloud
+        caches = cloud.caches
         candidates = self.state.directory.holders(doc_id)
         candidates.discard(requester)
         live: List[int] = []
         for holder in sorted(candidates):
-            holder_cache = cloud.caches[holder]
-            if holder_cache.alive and holder_cache.holds_fresh(doc_id, version):
+            holder_cache = caches[holder]
+            # Freshness check inlined from ``EdgeCache.holds_fresh``: the
+            # verification loop runs for every holder of every lookup.
+            copy = holder_cache.storage.get(doc_id)
+            if holder_cache.alive and copy is not None and copy.version >= version:
                 live.append(holder)
             else:
                 # Directory entry out of date (failure or stale replica).
@@ -111,10 +115,11 @@ class BeaconRole:
         fabric = cloud.fabric
         beacon_id = self.beacon_id
         irh = cloud.doc_irh(doc_id)
+        caches = cloud.caches
         holders = [
             h
             for h in sorted(self.state.directory.holders(doc_id))
-            if cloud.caches[h].alive and cloud.caches[h].holds(doc_id)
+            if caches[h].alive and caches[h].storage.get(doc_id) is not None
         ]
         carries_body = bool(holders)
         if fabric.trace.enabled:

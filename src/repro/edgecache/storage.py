@@ -11,7 +11,7 @@ before it is replaced" (paper §3.1).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 from repro.edgecache.document import CachedDocument
 from repro.edgecache.replacement import LRUPolicy, ReplacementPolicy
@@ -32,6 +32,14 @@ class CacheStorage:
         Replacement policy; defaults to LRU, matching the paper.
     """
 
+    #: The stored copy for a doc id, or ``None``. Bound directly to the
+    #: backing dict's C-implemented ``get`` in ``__init__``: this is the
+    #: single most-called accessor in the simulator (every freshness check
+    #: and holder verification goes through it), and the binding removes a
+    #: Python frame per call. ``_docs`` is mutated in place, never rebound,
+    #: so the binding stays valid for the store's lifetime.
+    get: Callable[[int], Optional[CachedDocument]]
+
     def __init__(
         self,
         capacity_bytes: Optional[int] = None,
@@ -42,6 +50,7 @@ class CacheStorage:
         self.capacity_bytes = capacity_bytes
         self.policy = policy if policy is not None else LRUPolicy()
         self._docs: Dict[int, CachedDocument] = {}
+        self.get = self._docs.get
         self._used = 0
         self.evictions = 0
         self._residence_samples: Deque[float] = deque(maxlen=RESIDENCE_SAMPLE_WINDOW)
@@ -73,10 +82,6 @@ class CacheStorage:
 
     def __iter__(self) -> Iterator[int]:
         return iter(self._docs)
-
-    def get(self, doc_id: int) -> Optional[CachedDocument]:
-        """The stored copy, or ``None``."""
-        return self._docs.get(doc_id)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -153,9 +158,10 @@ class CacheStorage:
         evicted documents, the natural empirical proxy for "how long a new
         copy can be expected to reside before it is replaced".
         """
-        if self.unlimited or not self._residence_samples:
+        samples = self._residence_samples
+        if self.capacity_bytes is None or not samples:
             return None
-        return sum(self._residence_samples) / len(self._residence_samples)
+        return sum(samples) / len(samples)
 
     def min_resident_residence(self, now: float, doc_ids) -> Optional[float]:
         """Smallest current residence time among ``doc_ids`` resident here."""

@@ -15,6 +15,12 @@ from typing import Dict
 class TrafficCategory(enum.Enum):
     """Where a transferred byte came from / went to."""
 
+    # Enum's default ``__hash__`` hashes the member *name* string; metering
+    # keys every dispatch by category, so use identity hashing (enum members
+    # are singletons, equality already is identity) to keep the per-message
+    # meter charge off the string-hash path.
+    __hash__ = object.__hash__
+
     #: Origin server -> beacon point: the single per-cloud update transfer.
     UPDATE_SERVER_TO_BEACON = "update_server_to_beacon"
     #: Beacon point -> document holders: intra-cloud update fan-out.
@@ -49,6 +55,21 @@ class TrafficMeter:
             raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
         self._bytes[category] += num_bytes
         self._messages[category] += 1
+
+    def record_batch(
+        self, category: TrafficCategory, total_bytes: int, count: int
+    ) -> None:
+        """Attribute ``count`` messages totalling ``total_bytes`` at once.
+
+        One dict transaction for a whole same-tick batch; totals are
+        indistinguishable from ``count`` individual :meth:`record` calls.
+        """
+        if total_bytes < 0:
+            raise ValueError(f"total_bytes must be >= 0, got {total_bytes}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._bytes[category] += total_bytes
+        self._messages[category] += count
 
     def bytes_for(self, category: TrafficCategory) -> int:
         """Total bytes recorded under ``category``."""

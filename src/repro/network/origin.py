@@ -15,7 +15,7 @@ cache-cloud protocol it plays two roles:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import List
 
 from repro.workload.documents import Corpus
 
@@ -35,7 +35,11 @@ class OriginServer:
     def __init__(self, corpus: Corpus, node_id: int = ORIGIN_NODE_ID) -> None:
         self.corpus = corpus
         self.node_id = node_id
-        self._versions: Dict[int, int] = {}
+        # Corpora are immutable and densely numbered, so versions live in a
+        # flat list and the doc-id bounds check caches the corpus length:
+        # version_of sits on the request hot path (every freshness check).
+        self._num_docs = len(corpus)
+        self._versions: List[int] = [0] * self._num_docs
         self.updates_published = 0
         self.update_messages_sent = 0
         self.fetches_served = 0
@@ -46,13 +50,14 @@ class OriginServer:
     # ------------------------------------------------------------------
     def version_of(self, doc_id: int) -> int:
         """Current version of ``doc_id`` (documents start at version 0)."""
-        self._check_doc(doc_id)
-        return self._versions.get(doc_id, 0)
+        if 0 <= doc_id < self._num_docs:
+            return self._versions[doc_id]
+        raise KeyError(f"unknown doc_id {doc_id}")
 
     def publish_update(self, doc_id: int) -> int:
         """Advance the document's version; returns the new version number."""
         self._check_doc(doc_id)
-        new_version = self._versions.get(doc_id, 0) + 1
+        new_version = self._versions[doc_id] + 1
         self._versions[doc_id] = new_version
         self.updates_published += 1
         return new_version
@@ -84,7 +89,7 @@ class OriginServer:
         return self.corpus[doc_id].url
 
     def _check_doc(self, doc_id: int) -> None:
-        if not 0 <= doc_id < len(self.corpus):
+        if not 0 <= doc_id < self._num_docs:
             raise KeyError(f"unknown doc_id {doc_id}")
 
     def __repr__(self) -> str:

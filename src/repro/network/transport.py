@@ -16,7 +16,7 @@ Two delivery styles are supported:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.network.bandwidth import TrafficCategory, TrafficMeter
 from repro.network.topology import NetworkTopology, ms_to_minutes
@@ -94,6 +94,35 @@ class Transport:
         self.bytes_attempted += num_bytes
         self.meter.record(category, num_bytes)
         return self.latency_minutes(src, dst)
+
+    def send_batch(
+        self,
+        legs: "Sequence[tuple[int, int, int]]",
+        category: TrafficCategory,
+    ) -> float:
+        """Account a same-tick batch of ``(src, dst, num_bytes)`` sends.
+
+        One ledger/meter transaction for the whole batch — totals are
+        indistinguishable from per-leg :meth:`send` calls. Returns the
+        slowest one-way latency (when the last leg lands).
+        """
+        count = len(legs)
+        if count == 0:
+            return 0.0
+        total = 0
+        for _, _, num_bytes in legs:
+            total += num_bytes
+        self.messages_attempted += count
+        self.bytes_attempted += total
+        self.meter.record_batch(category, total, count)
+        if self.topology is None:
+            return 0.0
+        slowest = 0.0
+        for src, dst, _ in legs:
+            latency = self.latency_minutes(src, dst)
+            if latency > slowest:
+                slowest = latency
+        return slowest
 
     def send_control(self, src: int, dst: int) -> float:
         """Send one control-sized message; returns its latency."""

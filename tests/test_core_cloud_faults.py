@@ -177,6 +177,89 @@ class TestEvictionNotices:
         assert requester in cloud.beacons[beacon].directory.holders(doc)
 
 
+class TestNoCooperationFaults:
+    """Regression: the direct-to-origin baseline must honour request loss.
+
+    ``CacheNode.fetch_direct`` used to ignore the delivery outcome of its
+    control-sized request leg: a lost request ticked no fault counter and
+    its timeout/backoff penalties never reached the client's latency.
+    """
+
+    def test_lost_direct_request_ticks_fallback_counter(self, small_corpus):
+        cloud = make_cloud(small_corpus, cooperation=False)
+        _attach(
+            cloud, FaultPlan(loss_rate=1.0, retry=RetryPolicy(max_attempts=2))
+        )
+        result = cloud.handle_request(0, 5, now=1.0)
+        # The origin never heard the request, yet the client is still
+        # served: the document leg is forced (last line of service).
+        assert result.outcome is RequestOutcome.ORIGIN_FETCH
+        assert cloud.fault_origin_fallbacks == 1
+        assert cloud.forced_deliveries == 1
+        assert cloud.caches[0].holds(5)
+
+    def test_lost_direct_request_inflates_client_latency(self, small_corpus):
+        reliable = make_cloud(small_corpus, cooperation=False)
+        lossy = make_cloud(small_corpus, cooperation=False)
+        _attach(
+            lossy, FaultPlan(loss_rate=1.0, retry=RetryPolicy(max_attempts=2))
+        )
+        fast = reliable.handle_request(0, 5, now=1.0)
+        slow = lossy.handle_request(0, 5, now=1.0)
+        # The request leg's timeouts and backoff reach the reported wait.
+        assert slow.latency_ms > fast.latency_ms
+
+    def test_zero_fault_direct_path_value_identical(self, small_corpus):
+        bare = make_cloud(small_corpus, cooperation=False)
+        faulty = make_cloud(small_corpus, cooperation=False)
+        _attach(faulty, NO_FAULTS)
+        assert _drive(bare) == _drive(faulty)
+        assert bare.transport.meter == faulty.transport.meter
+        assert faulty.fault_origin_fallbacks == 0
+
+
+class TestChurnedPlacement:
+    """Regression: placement must not see holders that churn has killed.
+
+    Directory entries can outlive their caches — churn kills a holder
+    before its entries are repaired. ``placement_context`` used to pass
+    those phantom holders through ``existing_holders`` (and their
+    residence estimates through ``min_residence_existing``), deflating the
+    duplicate-avoidance component for replicas that no longer exist.
+    """
+
+    def test_dead_holder_filtered_from_existing_holders(self, small_corpus):
+        cloud = make_cloud(small_corpus)
+        doc = 5
+        beacon = cloud.beacon_for_doc(doc)
+        holder = (beacon + 1) % len(cloud.caches)
+        observer = (beacon + 2) % len(cloud.caches)
+        cloud.handle_request(holder, doc, now=1.0)
+        cloud.caches[holder].fail(2.0)
+        # The stale directory entry is still on the books (nothing has
+        # looked the document up since the failure)...
+        assert holder in cloud.beacons[beacon].directory.holders(doc)
+        ctx = cloud.nodes[observer].placement_context(
+            doc, cloud.corpus[doc].size_bytes, 3.0, beacon
+        )
+        # ...but the placement policy only ever sees live replicas.
+        assert holder not in ctx.existing_holders
+        assert ctx.existing_holders == frozenset()
+        assert ctx.min_residence_existing is None
+
+    def test_live_holders_still_reported(self, small_corpus):
+        cloud = make_cloud(small_corpus)
+        doc = 5
+        beacon = cloud.beacon_for_doc(doc)
+        holder = (beacon + 1) % len(cloud.caches)
+        observer = (beacon + 2) % len(cloud.caches)
+        cloud.handle_request(holder, doc, now=1.0)
+        ctx = cloud.nodes[observer].placement_context(
+            doc, cloud.corpus[doc].size_bytes, 2.0, beacon
+        )
+        assert holder in ctx.existing_holders
+
+
 class TestDeadBeacon:
     """Regression tests for the dead-beacon guard (no failure manager)."""
 

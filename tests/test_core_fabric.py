@@ -15,10 +15,16 @@ Two layers of coverage:
 
 import pytest
 
-from repro.core.fabric import Delivery, DispatchRecord, MessageFabric
+from repro.core.fabric import (
+    DELIVERED_FREE,
+    Delivery,
+    DispatchRecord,
+    MessageFabric,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import NO_FAULTS, FaultPlan, RetryPolicy
 from repro.network.bandwidth import TrafficCategory
+from repro.network.topology import EuclideanTopology
 from repro.network.transport import (
     CONTROL_MESSAGE_BYTES,
     TRANSFER_HEADER_BYTES,
@@ -131,6 +137,162 @@ class TestDispatchStyles:
         assert fabric.trace.messages == ["delivered-probe"]
 
 
+class TestFastPath:
+    """The no-middleware dispatch fast path (see fabric module docs)."""
+
+    def test_flag_tracks_every_attachment(self):
+        from repro.observe import Telemetry
+
+        fabric = _fabric()
+        assert fabric._fast_path
+        fabric.attach_faults(FaultInjector(NO_FAULTS, fabric.transport))
+        assert not fabric._fast_path
+        fabric.detach_faults()
+        assert fabric._fast_path
+        fabric.capture_dispatches()
+        assert not fabric._fast_path
+        fabric.stop_dispatch_capture()
+        assert fabric._fast_path
+        fabric.telemetry = Telemetry()
+        assert not fabric._fast_path
+        fabric.telemetry = None
+        assert fabric._fast_path
+
+    def test_zero_latency_delivery_is_interned(self):
+        """Topology-less dispatches return the shared frozen singleton."""
+        fabric = _fabric()
+        assert fabric.send_control(0, 1) is DELIVERED_FREE
+        assert fabric.request_response(0, 1, 2) is DELIVERED_FREE
+
+    def test_rpc_charges_all_legs_and_fires_callback(self):
+        fabric = _fabric()
+        fired = []
+        delivery = fabric.request_response(
+            0, 1, 3, irh=7, on_request_delivered=fired.append
+        )
+        assert delivery.ok
+        assert fired == [7]  # the IrH value threads through the fabric
+        assert fabric.stats.dispatches == 4  # 3 out + 1 back
+        assert fabric.transport.messages_attempted == 4
+        assert fabric.transport.meter.bytes_for(TrafficCategory.CONTROL) == (
+            4 * CONTROL_MESSAGE_BYTES
+        )
+
+    def test_traced_message_still_emitted(self):
+        """The fast path skips observers, never the protocol trace."""
+        fabric = _fabric()
+        fabric.trace.enabled = True
+        fabric.send_control(0, 1, message="probe")
+        fabric.request_response(0, 1, 1, request="rpc-probe")
+        assert fabric.trace.messages == ["probe", "rpc-probe"]
+
+
+def _topology_pair():
+    """Two fabrics over identical three-node topologies; the second one has
+    a dispatch capture attached, forcing it onto the general path."""
+    coords = {0: (0.0, 0.0), 1: (30.0, 0.0), 2: (0.0, 40.0)}
+    fast = MessageFabric(Transport(topology=EuclideanTopology(dict(coords))))
+    slow = MessageFabric(Transport(topology=EuclideanTopology(dict(coords))))
+    log = slow.capture_dispatches()
+    return fast, slow, log
+
+
+class TestBatchEquivalence:
+    """Batched fast-path sends are indistinguishable from per-leg sends."""
+
+    LEGS = [(0, 1, 512), (0, 2, 2048), (1, 2, 128)]
+
+    def test_system_batch_matches_per_leg_stream(self):
+        fast, slow, log = _topology_pair()
+        category = TrafficCategory.DIRECTORY_MIGRATION
+        fast_latency = fast.send_system_batch(self.LEGS, category)
+        slow_latency = slow.send_system_batch(self.LEGS, category)
+        assert fast_latency == slow_latency  # slowest leg either way
+        assert fast.transport.meter == slow.transport.meter
+        assert (
+            fast.transport.messages_attempted
+            == slow.transport.messages_attempted
+        )
+        assert fast.transport.bytes_attempted == slow.transport.bytes_attempted
+        assert fast.stats.dispatches == slow.stats.dispatches == len(self.LEGS)
+        # The observed path saw the exact per-attempt stream.
+        assert [(r.src, r.dst, r.num_bytes) for r in log] == self.LEGS
+
+    def test_empty_batch_is_free(self):
+        fast, slow, log = _topology_pair()
+        assert fast.send_system_batch([], TrafficCategory.CONTROL) == 0.0
+        assert fast.stats.dispatches == 0
+        assert fast.transport.messages_attempted == 0
+
+    def test_exchange_matches_per_leg_stream(self):
+        fast, slow, log = _topology_pair()
+        category = TrafficCategory.ANTI_ENTROPY
+        assert fast.send_exchange(0, 1, 300, 700, category) == (True, True)
+        assert slow.send_exchange(0, 1, 300, 700, category) == (True, True)
+        assert fast.transport.meter == slow.transport.meter
+        assert (
+            fast.transport.messages_attempted
+            == slow.transport.messages_attempted
+        )
+        assert fast.transport.bytes_attempted == slow.transport.bytes_attempted
+        assert fast.stats.dispatches == slow.stats.dispatches == 2
+        assert [(r.src, r.dst, r.num_bytes) for r in log] == [
+            (0, 1, 300),
+            (1, 0, 700),
+        ]
+
+    def test_exchange_reverse_leg_needs_forward_delivery(self):
+        transport = Transport()
+        fabric = MessageFabric(transport)
+        fabric.attach_faults(
+            FaultInjector(FaultPlan(loss_rate=1.0), transport)
+        )
+        assert fabric.send_exchange(
+            0, 1, 300, 700, TrafficCategory.ANTI_ENTROPY
+        ) == (False, False)
+        # Only the forward leg was attempted (a server cannot answer a
+        # digest it never received), but its bytes were still charged.
+        assert transport.messages_attempted == 1
+        assert transport.bytes_attempted == 300
+
+
+class TestForcedDeliveryTrace:
+    """Regression: the forced out-of-band leg must trace its message.
+
+    A transfer delivered past the retry budget reached the client just as
+    surely as one the budget covered; under heavy loss the captured trace
+    used to disagree with what the client actually received.
+    """
+
+    def test_forced_leg_emits_the_message(self):
+        fabric = _fabric(loss_rate=1.0, retry=RetryPolicy(max_attempts=2))
+        fabric.trace.enabled = True
+        fabric.send_forced_document(
+            0, 1, 1000, TrafficCategory.ORIGIN_FETCH, message="doc-5"
+        )
+        assert fabric.stats.forced_deliveries == 1
+        assert fabric.trace.messages == ["doc-5"]
+
+    def test_cloud_trace_records_every_served_document(self, small_corpus):
+        from repro.core.protocol import DocumentTransfer
+
+        cloud = make_cloud(small_corpus)
+        cloud.attach_faults(
+            FaultInjector(
+                FaultPlan(loss_rate=1.0, retry=RetryPolicy(max_attempts=2)),
+                cloud.transport,
+            )
+        )
+        result = cloud.handle_request(0, 5, now=1.0)
+        assert cloud.forced_deliveries == 1
+        # The client was served exactly once, by the origin — and the trace
+        # says so even though the transfer rode the forced leg.
+        transfers = cloud.trace.of_type(DocumentTransfer)
+        served = [t for t in transfers if t.doc_id == 5 and t.dst == 0]
+        assert len(served) == 1
+        assert served[0].src == result.served_by
+
+
 class _ResponseDropInjector(FaultInjector):
     """Drops every message on one directed edge; delivers the rest."""
 
@@ -150,7 +312,7 @@ class TestRequestResponse:
         fabric = _fabric()
         fired = []
         delivery = fabric.request_response(
-            0, 1, 3, on_request_delivered=lambda: fired.append(True)
+            0, 1, 3, on_request_delivered=lambda irh: fired.append(True)
         )
         assert delivery.ok
         assert fired == [True]
@@ -172,7 +334,7 @@ class TestRequestResponse:
         )
         fired = []
         delivery = fabric.request_response(
-            0, 1, 1, on_request_delivered=lambda: fired.append(True)
+            0, 1, 1, on_request_delivered=lambda irh: fired.append(True)
         )
         assert not delivery.ok
         assert fired == [True, True]  # both attempts reached the server
@@ -183,7 +345,7 @@ class TestRequestResponse:
         fabric = _fabric(loss_rate=1.0, retry=RetryPolicy(max_attempts=2))
         fired = []
         delivery = fabric.request_response(
-            0, 1, 2, on_request_delivered=lambda: fired.append(True)
+            0, 1, 2, on_request_delivered=lambda irh: fired.append(True)
         )
         assert not delivery.ok
         assert fired == []

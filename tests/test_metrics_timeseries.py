@@ -89,6 +89,33 @@ class TestPercentiles:
         assert series.quantiles(qs=(0.5,), start=1.0, end=4.0) == {0.5: 20.0}
         assert series.quantiles(start=100.0, end=200.0) == {}
 
+    def test_quantiles_with_only_start(self):
+        # start=2.0, no end: t in [2, ...) contributes 30, 20, 50.
+        series = self.build()
+        assert series.quantiles(qs=(0.5, 1.0), start=2.0) == {
+            0.5: 30.0,
+            1.0: 50.0,
+        }
+
+    def test_quantiles_with_only_end(self):
+        # No start, end=2.0: t in [0, 2) contributes 40, 10.
+        series = self.build()
+        assert series.quantiles(qs=(0.0, 0.5), end=2.0) == {
+            0.0: 10.0,
+            0.5: 10.0,
+        }
+
+    def test_quantiles_one_sided_empty_windows(self):
+        series = self.build()
+        assert series.quantiles(start=100.0) == {}
+        assert series.quantiles(end=0.0) == {}
+
+    def test_percentile_in_open_ended_windows(self):
+        """Infinite bounds make percentile_in agree with one-sided quantiles."""
+        series = self.build()
+        assert series.percentile_in(2.0, float("inf"), 0.5) == 30.0
+        assert series.percentile_in(float("-inf"), 2.0, 0.5) == 10.0
+
 
 class TestWindowedCounter:
     def test_rejects_bad_window(self):

@@ -171,6 +171,38 @@ class TestLogHistogram:
         assert hist.percentile(0.80) == 100.0
         assert hist.percentile(1.0) == 600.0  # clamped down to observed max
 
+    def test_values_exactly_on_bucket_edges(self):
+        """Edges are inclusive upper bounds: a value equal to an edge lands
+        in the bucket that edge closes, never the one above it."""
+        hist = LogHistogram(lower=1.0, upper=1000.0, buckets_per_decade=1)
+        # bounds == [0.0, 1.0, 10.0, 100.0, 1000.0]
+        for value in (1.0, 10.0, 100.0, 1000.0):
+            hist.record(value)
+        assert hist.counts == [0, 1, 1, 1, 1, 0]
+        # Each edge value is its bucket's representative, so nearest-rank
+        # percentiles on edge data are exact.
+        assert hist.percentile(0.25) == 1.0
+        assert hist.percentile(0.5) == 10.0
+        assert hist.percentile(1.0) == 1000.0
+
+    def test_lower_edge_is_not_underflow(self):
+        # Exactly ``lower`` belongs to the first real bucket; underflow is
+        # the half-open [0, lower) only.
+        hist = LogHistogram(lower=1.0, upper=100.0, buckets_per_decade=1)
+        hist.record(1.0)
+        assert hist.counts[0] == 0
+        assert hist.counts[1] == 1
+        assert hist.percentile(0.5) == 1.0
+
+    def test_last_edge_is_not_overflow(self):
+        hist = LogHistogram(lower=1.0, upper=100.0, buckets_per_decade=1)
+        # bounds == [0.0, 1.0, 10.0, 100.0]: 100.0 closes the last real
+        # bucket; only values strictly above it overflow.
+        hist.record(100.0)
+        hist.record(100.0000001)
+        assert hist.counts[-2] == 1
+        assert hist.counts[-1] == 1
+
     def test_percentile_validates_q(self):
         hist = LogHistogram()
         hist.record(1.0)
