@@ -41,6 +41,13 @@ from repro.core.config import (
 from repro.core.consistent import ConsistentHashAssigner
 from repro.core.edgenetwork import EdgeCacheNetwork
 from repro.core.hashing import DynamicHashAssigner, StaticHashAssigner
+from repro.core.overload import (
+    ZERO_COST_OVERLOAD,
+    NodeQueue,
+    OverloadConfig,
+    OverloadController,
+    OverloadStats,
+)
 from repro.core.ring import BeaconRing
 from repro.core.utility import UtilityComputer
 from repro.edgecache.cache import EdgeCache
@@ -84,7 +91,12 @@ __all__ = [
     "EdgeCache",
     "EuclideanTopology",
     "ExperimentResult",
+    "NodeQueue",
     "OriginServer",
+    "OverloadConfig",
+    "OverloadController",
+    "OverloadStats",
+    "ZERO_COST_OVERLOAD",
     "PlacementScheme",
     "RequestOutcome",
     "RequestRecord",

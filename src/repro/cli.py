@@ -11,6 +11,7 @@ Usage::
     python -m repro run --telemetry telemetry.json
     python -m repro observe --duration 20 --out telemetry.json
     python -m repro resilience --scale tiny --loss 0 0.2 0.5 --churn 0 0.05
+    python -m repro overload --scale tiny --multipliers 1 4 16
     python -m repro audit --seeds 1 2 --loss 0.15 0.3 --churn 0 0.1
     python -m repro compare old.json new.json --tolerance 0.1
 
@@ -212,6 +213,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally re-run the harshest (loss, churn) sweep point "
         "serially with the observability registry attached and write its "
         "JSON artifact to FILE",
+    )
+
+    ovl = subparsers.add_parser(
+        "overload",
+        help="flash-crowd sweep: bounded node queues + admission control, "
+        "cooperative vs origin-direct at increasing load multipliers",
+    )
+    _add_scale(ovl)
+    _add_jobs(ovl)
+    ovl.add_argument(
+        "--multipliers", type=float, nargs="+", default=[1.0, 4.0, 16.0],
+        help="load multipliers on the scale's request rate (space-separated)",
+    )
+    ovl.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scale's seed (re-derives the flash-crowd workload)",
+    )
+    ovl.add_argument("--out", help="archive the sweep result to this JSON file")
+    ovl.add_argument(
+        "--fingerprint", action="store_true",
+        help="print a SHA-256 fingerprint of the result (determinism checks)",
     )
 
     aud = subparsers.add_parser(
@@ -481,6 +503,25 @@ def _cmd_resilience(args) -> int:
     return 1 if result.failures else 0
 
 
+def _cmd_overload(args) -> int:
+    from repro.experiments.overload import overload_sweep
+    from repro.experiments.reporting import fingerprint, save_result
+
+    result = overload_sweep(
+        _SCALES[args.scale],
+        multipliers=tuple(args.multipliers),
+        jobs=args.jobs,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.out:
+        save_result(result, args.out, "overload")
+        print(f"archived to {args.out}")
+    if args.fingerprint:
+        print(f"fingerprint: {fingerprint(result)}")
+    return 1 if result.failures else 0
+
+
 def _cmd_audit(args) -> int:
     from repro.audit.chaos import chaos_audit_grid
     from repro.experiments.reporting import fingerprint, save_result
@@ -531,6 +572,7 @@ _HANDLERS = {
     "run": _cmd_run,
     "observe": _cmd_observe,
     "resilience": _cmd_resilience,
+    "overload": _cmd_overload,
     "audit": _cmd_audit,
     "compare": _cmd_compare,
 }

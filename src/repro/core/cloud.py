@@ -50,6 +50,7 @@ from repro.core.node import (
     RequestOutcome,
     RequestResult,
 )
+from repro.core.overload import OverloadConfig, OverloadController
 from repro.core.placement import make_placement
 from repro.core.protocol import DirectoryTransfer, ProtocolTrace, RangeAnnouncement
 from repro.core.ring import BeaconRing
@@ -180,6 +181,11 @@ class CacheCloud:
         #: roles read this reference, never import the package.
         self.telemetry: Optional["Telemetry"] = None
 
+        #: Optional per-node service model (``repro.core.overload``).
+        #: ``None`` keeps the fabric fast path enabled and every protocol
+        #: hot path on a single attribute check.
+        self.overload: Optional[OverloadController] = None
+
         # Background repair (repro.audit). ``None`` until attached; an
         # attached-but-disabled process is a strict no-op, so fault-free
         # runs stay value-identical either way.
@@ -267,6 +273,36 @@ class CacheCloud:
     def forced_deliveries(self) -> int:
         """Dispatches forced through out-of-band after the retry budget."""
         return self.fabric.stats.forced_deliveries
+
+    # ------------------------------------------------------------------
+    # Overload / service model (delegates to the fabric)
+    # ------------------------------------------------------------------
+    def attach_overload(self, config: OverloadConfig) -> OverloadController:
+        """Install bounded per-node queues and the overload controller.
+
+        Every edge node gains a bounded service queue (the origin is
+        exempt — it models a provisioned server farm, and exempting it
+        keeps "degrade to origin-direct" a genuine relief valve): wire
+        messages accrue queueing delay, full queues reject, and the
+        watermark controller sheds cooperative work before client
+        requests are turned away. Mirrors :meth:`attach_faults`: the
+        returned controller's statistics survive :meth:`detach_overload`.
+        """
+        if self.overload is not None:
+            return self.overload
+        controller = OverloadController(config)
+        controller.exempt_node(self.origin.node_id)
+        self.overload = controller
+        self.fabric.attach_service(controller)
+        return controller
+
+    def detach_overload(self) -> Optional[OverloadController]:
+        """Remove the service model; returns it with its statistics."""
+        controller = self.overload
+        self.overload = None
+        if controller is not None:
+            self.fabric.detach_service()
+        return controller
 
     def attach_anti_entropy(
         self,
@@ -393,6 +429,20 @@ class CacheCloud:
             cache_id = self._redirect_target(cache_id)
             cache = self.caches[cache_id]
             self.requests_redirected += 1
+        ingress_delay_ms = 0.0
+        overload = self.overload
+        if overload is not None:
+            # Admission control at the ingress cache: the client arrival
+            # itself occupies the cache's service queue. A full queue turns
+            # the client away before any protocol work happens — the cache's
+            # own request/frequency counters are untouched because the
+            # request was never served.
+            overload.advance(now)
+            ingress_delay = overload.admit_request(cache_id)
+            if ingress_delay is None:
+                self.requests_handled += 1
+                return RequestResult(RequestOutcome.REJECTED, 0.0, cache_id)
+            ingress_delay_ms = ingress_delay * MINUTES_TO_MS
         self.requests_handled += 1
         # Inlined EdgeCache.observe_request / serve_local: the local-hit
         # path runs at the full request rate, so the facade hops (and the
@@ -412,7 +462,12 @@ class CacheCloud:
                 cache.stats.local_hits += 1
                 # A local hit has zero latency, so the latency accumulator
                 # is untouched — skip the record call on the hottest path.
-                return RequestResult(RequestOutcome.LOCAL_HIT, 0.0, cache_id)
+                # Under overload the ingress queue wait still counts.
+                if ingress_delay_ms > 0.0:
+                    cache.stats.record_latency(ingress_delay_ms)
+                return RequestResult(
+                    RequestOutcome.LOCAL_HIT, ingress_delay_ms, cache_id
+                )
             # Stale copy (possible after failures drop directory state):
             # discard and fall through to the miss path.
             cache.drop(doc_id, now)
@@ -424,6 +479,7 @@ class CacheCloud:
             result = node.fetch_direct(doc_id, now)
         else:
             result = node.serve_miss(doc_id, now)
+        result.latency_ms += ingress_delay_ms
         cache.stats.record_latency(result.latency_ms)
         return result
 
@@ -469,6 +525,8 @@ class CacheCloud:
 
     def _apply_update(self, doc_id: int, now: float) -> int:
         self.updates_handled += 1
+        if self.overload is not None:
+            self.overload.advance(now)
         version = self.origin.publish_update(doc_id)
         tracker = self._update_rates.get(doc_id)
         if tracker is None:
@@ -616,6 +674,8 @@ class CacheCloud:
         }
         if self.faults is not None and self.faults.plan.enabled:
             summary.update(self.faults.stats.as_dict())
+        if self.overload is not None and self.overload.engaged:
+            summary.update(self.overload.stats.as_dict())
         if self.anti_entropy is not None and self.anti_entropy.config.enabled:
             summary.update(self.anti_entropy.stats.as_dict())
         if self.failure_manager is not None:

@@ -46,7 +46,8 @@ Dispatch styles
 The dispatch fast path
 ----------------------
 When no middleware or observer is attached — ``faults is None``,
-``dispatch_log is None``, and ``telemetry is None`` — every dispatch is
+``dispatch_log is None``, ``telemetry is None``, and no service model
+(``service is None``, see :mod:`repro.core.overload`) — every dispatch is
 known in advance to succeed on its single attempt with nothing watching the
 wire. The fabric precomputes that condition into one boolean
 (``_fast_path``, resynced by every attach/detach), and the dispatch styles
@@ -73,6 +74,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
+from repro.core.overload import OverloadController
 from repro.core.protocol import ProtocolTrace
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import RetryPolicy
@@ -90,6 +92,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime import
 #: Control traffic category, hoisted so the RPC fast path pays no enum
 #: attribute lookup per call.
 _CONTROL = TrafficCategory.CONTROL
+
+#: Milliseconds of simulated time per simulated minute (histogram export).
+_MINUTES_TO_MS = 60_000.0
 
 
 @dataclass(frozen=True)
@@ -133,6 +138,8 @@ class FabricStats:
     retries: int = 0
     timeouts: int = 0
     forced_deliveries: int = 0
+    #: Attempts turned away by a full destination queue (service model).
+    rejections: int = 0
 
     def reset(self) -> None:
         """Zero every counter (measurement-window resets)."""
@@ -140,6 +147,7 @@ class FabricStats:
         self.retries = 0
         self.timeouts = 0
         self.forced_deliveries = 0
+        self.rejections = 0
 
 
 #: A dispatch that failed before any wire attempt (no such case today, but
@@ -175,6 +183,7 @@ class MessageFabric:
         self._faults: Optional[FaultInjector] = None
         self._dispatch_log: Optional[List[DispatchRecord]] = None
         self._telemetry: Optional["Telemetry"] = None
+        self._service: Optional[OverloadController] = None
         #: True iff no middleware/observer is attached; see module docs.
         self._fast_path = True
 
@@ -184,6 +193,7 @@ class MessageFabric:
             self._faults is None
             and self._dispatch_log is None
             and self._telemetry is None
+            and self._service is None
         )
 
     # ------------------------------------------------------------------
@@ -216,8 +226,45 @@ class MessageFabric:
 
     @property
     def retry_policy(self) -> Optional[RetryPolicy]:
-        """The attached plan's retry policy, or ``None`` without faults."""
-        return None if self._faults is None else self._faults.plan.retry
+        """The active retry ladder for reliable dispatches.
+
+        A fault plan's policy wins when an injector is attached; otherwise
+        an attached service model may supply one (so queue rejections are
+        retried even in a loss-free cloud); ``None`` means single-attempt.
+        """
+        if self._faults is not None:
+            return self._faults.plan.retry
+        if self._service is not None:
+            return self._service.config.retry
+        return None
+
+    # ------------------------------------------------------------------
+    # Service model (bounded queues / overload)
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> Optional[OverloadController]:
+        """The attached overload/service model, or ``None``."""
+        return self._service
+
+    def attach_service(self, controller: OverloadController) -> None:
+        """Install ``controller`` as the per-node service model.
+
+        Every delivered wire attempt is then admitted at its destination's
+        bounded queue: queueing delay accrues into the attempt's latency,
+        and a full queue converts the attempt into a loss (so the retry
+        ladder — fault plan's or the controller's own — applies).
+        Attaching disables the dispatch fast path; a fabric with no
+        service model is bit-identical to one that never heard of queues.
+        """
+        self._service = controller
+        self._sync_fast_path()
+
+    def detach_service(self) -> Optional[OverloadController]:
+        """Remove and return the service model (its statistics survive)."""
+        controller = self._service
+        self._service = None
+        self._sync_fast_path()
+        return controller
 
     # ------------------------------------------------------------------
     # Observers (dispatch capture + telemetry)
@@ -286,6 +333,17 @@ class MessageFabric:
         Returns the one-way latency, or ``None`` if the middleware lost the
         message. The attempt is charged to the meter and the transport's
         ledger either way — lost bytes still crossed part of the wire.
+
+        With a service model attached, an attempt that survives the wire
+        must still be admitted at the destination's bounded queue: queueing
+        delay (wait + service) is added to the leg's latency, and a full
+        queue converts the attempt into a loss. Attempts the wire already
+        lost never reach the queue — a message that did not arrive cannot
+        occupy the server — which is also what keeps the retry ladder's
+        timeout accounting single-charged: a rejected attempt costs the
+        timeout (as any loss does) but accrues no service delay, and a
+        delayed-but-delivered attempt accrues its queue wait but no
+        timeout.
         """
         if self._dispatch_log is not None:
             self._dispatch_log.append(
@@ -298,6 +356,28 @@ class MessageFabric:
             )
         else:
             latency = self._faults.deliver(src, dst, num_bytes, category)
+        if latency is not None and self._service is not None:
+            delay = self._service.admit_message(dst, category.value, num_bytes)
+            if delay is None:
+                # Full queue: the destination turned the message away. The
+                # caller sees an ordinary loss, so reliable dispatches
+                # retry under the active ladder.
+                self.stats.rejections += 1
+                if self._telemetry is not None:
+                    self._telemetry.count(f"fabric.rejected.{category.value}")
+                latency = None
+            else:
+                if delay > 0.0:
+                    latency += delay
+                    if self._telemetry is not None:
+                        self._telemetry.histogram(
+                            f"queue_delay_ms.{category.value}"
+                        ).record(delay * _MINUTES_TO_MS)
+                if self._telemetry is not None:
+                    self._telemetry.gauge(
+                        f"queue_depth.{dst}",
+                        float(self._service.depth_of(dst)),
+                    )
         if self._telemetry is not None:
             self._telemetry.record_attempt(category.value, num_bytes, latency)
         return latency

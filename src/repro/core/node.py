@@ -51,6 +51,12 @@ class RequestOutcome(enum.Enum):
     CLOUD_TIMEOUT_ORIGIN_FALLBACK = "cloud_timeout_origin_fallback"
     # No live beacon point could be found for the document.
     BEACON_DOWN_ORIGIN_FALLBACK = "beacon_down_origin_fallback"
+    # Cooperative work shed by the overload controller (saturated beacon):
+    # served origin-direct without consulting the cloud.
+    OVERLOAD_ORIGIN_FALLBACK = "overload_origin_fallback"
+    # The ingress cache's service queue was full: the client was turned
+    # away entirely (the last rung of graceful degradation).
+    REJECTED = "rejected"
 
 
 @dataclass
@@ -96,6 +102,24 @@ class CacheNode:
                 RequestOutcome.BEACON_DOWN_ORIGIN_FALLBACK, 0.0,
             )
         beacon_role = cloud.beacon_roles[beacon_id]
+        overload = cloud.overload
+        if overload is not None and overload.shed_lookup(beacon_id):
+            # Graceful degradation, first rung: the beacon point is
+            # saturated (queue depth over the high watermark), so the
+            # cooperative lookup is shed and the miss served origin-direct.
+            # Cheaper for the beacon than rejecting the lookup RPC leg by
+            # leg, and the requester is still served.
+            tel_shed = cloud.telemetry
+            if tel_shed is not None:
+                span = tel_shed.begin_span(
+                    "overload_shed", now, kind="lookup", node=beacon_id
+                )
+                tel_shed.end_span(span, now)
+                tel_shed.count("overload.shed.lookup")
+            return self.origin_fallback(
+                doc_id, size, now,
+                RequestOutcome.OVERLOAD_ORIGIN_FALLBACK, 0.0,
+            )
         beacon_state = beacon_role.state
         hops = cloud.doc_hops(doc_id)
         # Lookup RPC (possibly multi-hop for consistent hashing). The load
@@ -136,6 +160,22 @@ class CacheNode:
             )
 
         holder_id = beacon_role.answer_lookup(doc_id, cache_id, version)
+        if (
+            holder_id is not None
+            and overload is not None
+            and overload.shed_peer_fetch(holder_id)
+        ):
+            # Second rung: the directory knows a holder, but that holder is
+            # itself saturated — fetch from the origin instead of piling a
+            # peer transfer onto its queue. The lookup already succeeded,
+            # so this counts as an ordinary group miss downstream.
+            if tel is not None:
+                span = tel.begin_span(
+                    "overload_shed", now, kind="peer_fetch", node=holder_id
+                )
+                tel.end_span(span, now)
+                tel.count("overload.shed.peer_fetch")
+            holder_id = None
         if fabric.trace.enabled:
             # Only built under capture: the frozenset copy of the holder set
             # is pure instrumentation and must not tax the hot loop.

@@ -172,8 +172,25 @@ class BeaconRole:
         # Fan-out legs all start once the body has reached the beacon.
         fanout_start = now + body.latency
         refreshed = 0
+        overload = cloud.overload
         for holder in holders:
             if holder != beacon_id:
+                if overload is not None and overload.defer_fanout(holder):
+                    # Graceful degradation: a saturated holder's push leg is
+                    # deferred rather than queued. The holder stays stale —
+                    # the same recovery contract as a *lost* push (version
+                    # check on its next request, or anti-entropy, repairs
+                    # it), so deferral needs no new repair machinery.
+                    if tel is not None:
+                        defer_span = tel.begin_span(
+                            "overload_defer",
+                            fanout_start,
+                            kind="fanout_leg",
+                            node=holder,
+                        )
+                        tel.end_span(defer_span, fanout_start)
+                        tel.count("overload.deferred.fanout")
+                    continue
                 leg_span: Optional["Span"] = None
                 if tel is not None:
                     leg_span = tel.begin_span(

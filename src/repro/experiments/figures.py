@@ -36,6 +36,7 @@ from repro.core.config import (
     WEIGHTS_ALL_ON,
     WEIGHTS_DSCC_OFF,
 )
+from repro.core.overload import OverloadConfig
 from repro.experiments.parallel import ExperimentSpec, WorkloadSpec, run_sweep
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.sweeps import (
@@ -218,6 +219,7 @@ def _spec(
     config: CloudConfig,
     workload: WorkloadSpec,
     duration: float,
+    overload: Optional[OverloadConfig] = None,
 ) -> ExperimentSpec:
     """An :class:`ExperimentSpec` with the figures' shared warm-up rule.
 
@@ -231,6 +233,7 @@ def _spec(
         workload=workload,
         duration=duration,
         warmup=min(2.0 * config.cycle_length, duration / 2.0),
+        overload=overload,
     )
 
 
@@ -309,6 +312,7 @@ def _load_distribution(
     workload: WorkloadSpec,
     scale: FigureScale,
     jobs: Optional[int] = None,
+    overload: Optional[OverloadConfig] = None,
 ) -> LoadDistributionResult:
     num_caches = 10
     specs = [
@@ -317,6 +321,7 @@ def _load_distribution(
             _loadbalance_config(scheme, num_caches, 5, scale),
             workload,
             scale.duration_minutes,
+            overload=overload,
         )
         for scheme in (AssignmentScheme.STATIC, AssignmentScheme.DYNAMIC)
     ]
@@ -325,7 +330,9 @@ def _load_distribution(
 
 
 def figure3(
-    scale: FigureScale = SMALL_SCALE, jobs: Optional[int] = None
+    scale: FigureScale = SMALL_SCALE,
+    jobs: Optional[int] = None,
+    overload: Optional[OverloadConfig] = None,
 ) -> LoadDistributionResult:
     """Figure 3: load distribution for the Zipf-0.9 dataset.
 
@@ -333,10 +340,15 @@ def figure3(
     1-hour cycles. Static hashing's heaviest beacon carries ~1.9x the mean;
     dynamic hashing cuts that to ~1.2x (a ~37 % improvement) and improves
     the coefficient of variation by ~63 %.
+
+    ``overload`` optionally attaches a per-node service model to every
+    run; a zero-cost config is value-identical to omitting it (pinned by
+    the golden-fingerprint equivalence tests).
     """
     workload = _zipf_workload(scale, num_caches=10, alpha=0.9)
     return _load_distribution(
-        "Figure 3", "Zipf-0.9 dataset", workload, scale, jobs=jobs
+        "Figure 3", "Zipf-0.9 dataset", workload, scale, jobs=jobs,
+        overload=overload,
     )
 
 
@@ -471,6 +483,7 @@ def figure6(
     scale: FigureScale = SMALL_SCALE,
     alphas: Tuple[float, ...] = ZIPF_SWEEP,
     jobs: Optional[int] = None,
+    overload: Optional[OverloadConfig] = None,
 ) -> Figure6Result:
     """Figure 6: CoV vs Zipf parameter (0 → 0.99).
 
@@ -488,6 +501,7 @@ def figure6(
                     _loadbalance_config(scheme, 10, 5, scale),
                     workload,
                     scale.duration_minutes,
+                    overload=overload,
                 )
             )
     runs = run_sweep(specs, jobs=jobs)

@@ -1,0 +1,327 @@
+"""Flash-crowd overload sweep: cooperative vs origin-direct under load.
+
+The paper's evaluation assumes every node serves instantly, so it can never
+ask what a flash crowd does to the *cloud itself*. This sweep attaches the
+bounded-queue service model (:mod:`repro.core.overload`) to both the
+cooperative cloud and the isolated-caches baseline and drives them with a
+Sydney-like diurnal workload containing flash crowds, at increasing load
+multipliers. The question it answers: under saturation, does collaborative
+miss handling still help, or does it amplify congestion inside the cloud —
+and does graceful degradation (shed lookups/peer fetches to origin-direct,
+defer fan-out) keep the cooperative arm serving clients?
+
+Each sweep point reports the end-of-run overload statistics (rejection and
+shed percentages, mean queue depth, queueing delay) alongside the service
+metrics both arms compete on (cloud hit rate, origin load, mean client
+latency), plus the :class:`~repro.metrics.collector.CloudMonitor`'s
+windowed ``avg_queue_depth`` / ``rejection_rate`` / ``shed_rate`` /
+``cloud_hit_rate`` series so the *shape* of degradation over the flash
+windows is visible, not just the totals.
+
+Determinism: both arms of a load point share one :class:`WorkloadSpec`
+(identical trace), all randomness flows from seeds, and the monitor runs
+on the simulated clock — the sweep is value-identical at any ``--jobs``
+count and fingerprint-stable across runs (CI's overload-smoke job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cloud import CacheCloud
+from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.core.overload import OverloadConfig
+from repro.experiments.figures import SMALL_SCALE, FigureScale
+from repro.experiments.parallel import (
+    ExperimentSpec,
+    FailedRun,
+    WorkloadSpec,
+    derive_seed,
+    run_sweep,
+)
+from repro.experiments.runner import run_experiment
+from repro.faults.plan import RetryPolicy
+from repro.metrics.collector import CloudMonitor
+from repro.metrics.report import Table, format_figure_header
+from repro.simulation.engine import Simulator
+from repro.workload.sydney import SydneyConfig
+
+#: Number of caches in every sweep point (the paper's cloud size).
+NUM_CACHES = 10
+
+#: Monitor windows per run — coarse enough to stay cheap, fine enough to
+#: resolve the flash-crowd humps.
+MONITOR_WINDOWS = 20
+
+#: Per-point monitor series exported into the sweep result.
+SERIES_NAMES = (
+    "avg_queue_depth",
+    "rejection_rate",
+    "shed_rate",
+    "cloud_hit_rate",
+)
+
+#: Load multipliers swept by default: nominal, heavy, saturated.
+DEFAULT_MULTIPLIERS = (1.0, 4.0, 16.0)
+
+
+def default_overload_config() -> OverloadConfig:
+    """The icarus-shaped scenario every sweep point shares.
+
+    ``queue_capacity=10`` with watermarks 8/4 (shed before reject, with
+    hysteresis), a flat 240 ms service cost per message plus 5 ms/KiB for
+    document bodies, and the standard retry ladder so rejected reliable
+    legs are retried before the sender degrades. At the tiny scale's
+    nominal 30 requests/min/cache this is ~0.12 ingress utilization —
+    comfortably idle — and crosses 1.0 between the 4x and 16x load
+    multipliers, which is exactly the regime the sweep exists to resolve.
+    """
+    return OverloadConfig(
+        queue_capacity=10,
+        service_ms=240.0,
+        service_ms_per_kb=5.0,
+        shed_highwater=8,
+        shed_lowwater=4,
+        retry=RetryPolicy(),
+    )
+
+
+def _flash_workload(scale: FigureScale, load_multiplier: float) -> WorkloadSpec:
+    """A Sydney-like diurnal trace with flash crowds at ``load_multiplier``.
+
+    The multiplier scales the *offered load* (peak request rate); the flash
+    crowds themselves keep the generator's concentration behaviour —
+    traffic redirected onto one suddenly-hot page — so saturation combines
+    a cloud-wide rate surge with a per-beacon hot spot. The workload seed
+    is constant across multipliers (common random numbers: arms and load
+    points differ by the knob under study, not by their randomness).
+    """
+    return WorkloadSpec(
+        generator_config=SydneyConfig(
+            num_documents=scale.num_documents,
+            num_caches=NUM_CACHES,
+            peak_request_rate_per_cache=(
+                scale.request_rate_per_cache * load_multiplier
+            ),
+            base_update_rate=scale.update_rate,
+            duration_minutes=scale.duration_minutes,
+            seed=derive_seed(scale.seed, "overload"),
+            num_epochs=2,
+            drift_pool=min(100, scale.num_documents),
+            diurnal_floor=0.6,
+            diurnal_period_minutes=scale.duration_minutes,
+            num_flash_crowds=2,
+            flash_duration_minutes=scale.duration_minutes / 8.0,
+            flash_multiplier=8.0,
+        ),
+        corpus_documents=scale.num_documents,
+        corpus_seed=derive_seed(scale.seed, "overload-corpus"),
+    )
+
+
+def _arm_config(scale: FigureScale, cooperative: bool) -> CloudConfig:
+    """Cloud configuration for one arm (cooperation on or off)."""
+    return CloudConfig(
+        num_caches=NUM_CACHES,
+        num_rings=5,
+        intra_gen=1000,
+        cycle_length=scale.cycle_length,
+        assignment=AssignmentScheme.DYNAMIC,
+        placement=PlacementScheme.AD_HOC,
+        cooperation=cooperative,
+        seed=scale.seed,
+    )
+
+
+@dataclass
+class OverloadPointResult:
+    """One (load multiplier, arm) sweep point, detached and picklable."""
+
+    multiplier: float
+    arm: str  # "cooperative" | "direct"
+    requests: int
+    requests_rejected: int
+    rejection_percent: float
+    shed_percent: float
+    lookups_shed: int
+    peer_fetches_shed: int
+    fanout_deferred: int
+    avg_queue_depth: float
+    queue_delay_minutes: float
+    messages_rejected: int
+    cloud_hit_percent: float
+    origin_fetches: int
+    mean_latency_ms: float
+    #: Monitor series (name -> [(t, value), ...]) over the run.
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+
+def _run_point(spec: ExperimentSpec) -> OverloadPointResult:
+    """Execute one sweep point with an armed monitor (picklable runner).
+
+    Builds the cloud and simulator in-process so the
+    :class:`CloudMonitor` can be scheduled on the same simulated clock the
+    experiment runs on, then packages the scalar summary + windowed series
+    into a detached record (the live cloud never crosses the process
+    boundary).
+    """
+    key = spec.key
+    assert isinstance(key, tuple)
+    multiplier, arm = key
+    assert spec.overload is not None  # every sweep point carries the model
+    corpus, trace = spec.workload.materialize()
+    simulator = Simulator()
+    cloud = CacheCloud(spec.config, corpus)
+    controller = cloud.attach_overload(spec.overload)
+    monitor = CloudMonitor(
+        cloud, simulator, period=spec.duration / MONITOR_WINDOWS
+    )
+    monitor.start()
+    result = run_experiment(
+        spec.config,
+        corpus,
+        trace.requests,
+        trace.updates,
+        duration=spec.duration,
+        warmup=spec.warmup,
+        cloud=cloud,
+        simulator=simulator,
+    )
+    stats = controller.stats
+    arrivals = stats.requests_admitted + stats.requests_rejected
+    return OverloadPointResult(
+        multiplier=float(multiplier),
+        arm=str(arm),
+        requests=result.requests,
+        requests_rejected=stats.requests_rejected,
+        rejection_percent=(
+            100.0 * stats.requests_rejected / arrivals if arrivals else 0.0
+        ),
+        shed_percent=(
+            100.0 * stats.shed_total / arrivals if arrivals else 0.0
+        ),
+        lookups_shed=stats.lookups_shed,
+        peer_fetches_shed=stats.peer_fetches_shed,
+        fanout_deferred=stats.fanout_deferred,
+        avg_queue_depth=stats.avg_queue_depth,
+        queue_delay_minutes=stats.queue_delay_minutes,
+        messages_rejected=stats.messages_rejected,
+        cloud_hit_percent=100.0 * result.stats.cloud_hit_rate,
+        origin_fetches=result.stats.origin_fetches,
+        mean_latency_ms=result.stats.mean_latency_ms,
+        series={
+            name: list(monitor.series[name].items()) for name in SERIES_NAMES
+        },
+    )
+
+
+@dataclass
+class OverloadSweepResult:
+    """Rows over the (load multiplier × arm) grid, plus monitor series."""
+
+    columns: Tuple[str, ...] = (
+        "load x",
+        "arm",
+        "rejected (%)",
+        "shed (%)",
+        "avg queue depth",
+        "cloud hit rate (%)",
+        "origin fetches",
+        "mean latency (ms)",
+    )
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    #: "multiplier:arm" -> series name -> [(t, value), ...].
+    series: Dict[str, Dict[str, List[Tuple[float, float]]]] = field(
+        default_factory=dict
+    )
+    #: Sweep points that failed both attempts (empty on healthy runs).
+    failures: List[FailedRun] = field(default_factory=list)
+
+    @staticmethod
+    def point_key(multiplier: float, arm: str) -> str:
+        """The ``series`` key for one sweep point."""
+        return f"{multiplier:g}:{arm}"
+
+    def row(self, multiplier: float, arm: str) -> Tuple[Any, ...]:
+        """The row for the ``(multiplier, arm)`` sweep point."""
+        for row in self.rows:
+            if row[0] == multiplier and row[1] == arm:
+                return row
+        raise KeyError((multiplier, arm))
+
+    def render(self) -> str:
+        table = Table(list(self.columns), precision=2)
+        for row in self.rows:
+            table.add_row(*row)
+        lines = [
+            format_figure_header(
+                "Overload",
+                "flash-crowd saturation: cooperative vs origin-direct",
+            ),
+            table.render(),
+        ]
+        for failed in self.failures:
+            lines.append(
+                f"FAILED {failed.key}: {failed.error_type}: {failed.error}"
+            )
+        return "\n".join(lines)
+
+
+def overload_sweep(
+    scale: FigureScale = SMALL_SCALE,
+    multipliers: Sequence[float] = DEFAULT_MULTIPLIERS,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    overload: Optional[OverloadConfig] = None,
+) -> OverloadSweepResult:
+    """Run the (load multiplier × arm) grid; one table row per point.
+
+    Both arms of a load point run the *same* flash-crowd trace under the
+    *same* service model; the only variable is whether misses are handled
+    cooperatively. ``seed`` overrides the scale's seed (re-deriving the
+    workload); ``overload`` overrides the icarus-shaped default config.
+    """
+    if seed is not None:
+        scale = replace(scale, seed=seed)
+    config = overload if overload is not None else default_overload_config()
+    specs: List[ExperimentSpec] = []
+    for multiplier in multipliers:
+        workload = _flash_workload(scale, multiplier)
+        for cooperative in (True, False):
+            arm = "cooperative" if cooperative else "direct"
+            specs.append(
+                ExperimentSpec(
+                    key=(multiplier, arm),
+                    config=_arm_config(scale, cooperative),
+                    workload=workload,
+                    duration=scale.duration_minutes,
+                    # No warm-up reset: the cold start is part of the story
+                    # (shared by both arms), and overload statistics must
+                    # cover the same window as the monitor series.
+                    warmup=0.0,
+                    overload=config,
+                )
+            )
+
+    result = OverloadSweepResult()
+    for outcome in run_sweep(specs, jobs=jobs, runner=_run_point):
+        if isinstance(outcome, FailedRun):
+            result.failures.append(outcome)
+            continue
+        result.rows.append(
+            (
+                outcome.multiplier,
+                outcome.arm,
+                outcome.rejection_percent,
+                outcome.shed_percent,
+                outcome.avg_queue_depth,
+                outcome.cloud_hit_percent,
+                outcome.origin_fetches,
+                outcome.mean_latency_ms,
+            )
+        )
+        result.series[
+            OverloadSweepResult.point_key(outcome.multiplier, outcome.arm)
+        ] = outcome.series
+    return result

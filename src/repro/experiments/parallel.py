@@ -34,9 +34,19 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.core.config import CloudConfig
+from repro.core.overload import OverloadConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.faults.churn import ChurnSpec
 from repro.faults.plan import FaultPlan
@@ -129,6 +139,11 @@ class ExperimentSpec:
     anti_entropy: Optional["AntiEntropyConfig"] = None
     #: Run the invariant auditor at the end and fill ``result.audit``.
     audit: bool = False
+    #: Optional per-node service model (bounded queues + overload
+    #: controller); frozen and picklable like the fault plan. Carried by
+    #: the spec — never by :class:`CloudConfig` — so results embedding the
+    #: config stay schema-identical with and without it.
+    overload: Optional[OverloadConfig] = None
 
 
 @dataclass
@@ -148,6 +163,12 @@ class FailedRun:
 #: What one sweep slot can hold.
 SweepResult = Union[ExperimentResult, FailedRun]
 
+#: Result type produced by a sweep's runner callable. The default runner
+#: (:func:`run_spec`) yields :class:`ExperimentResult`; custom runners may
+#: return their own picklable result records (e.g. the overload sweep's
+#: per-point summaries), and :func:`run_sweep` is generic over that type.
+R = TypeVar("R")
+
 
 def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     """Execute one spec; returns a detached (cloud-free, picklable) result."""
@@ -163,6 +184,7 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         churn=spec.churn,
         anti_entropy=spec.anti_entropy,
         audit=spec.audit,
+        overload=spec.overload,
     )
     result.unique_request_docs = len(trace.request_counts_by_doc())
     return result.detached()
@@ -192,8 +214,8 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 def run_sweep(
     specs: Iterable[ExperimentSpec],
     jobs: Optional[int] = None,
-    runner: Callable[[ExperimentSpec], ExperimentResult] = run_spec,
-) -> List[SweepResult]:
+    runner: Callable[[ExperimentSpec], R] = run_spec,  # type: ignore[assignment]
+) -> List[Union[R, FailedRun]]:
     """Execute every spec; returns results in spec order.
 
     ``jobs`` is resolved through :func:`resolve_jobs` (explicit value, then
@@ -229,9 +251,9 @@ def run_sweep(
 
 def _retry_serially(
     spec: ExperimentSpec,
-    runner: Callable[[ExperimentSpec], ExperimentResult],
+    runner: Callable[[ExperimentSpec], R],
     first_error: BaseException,
-) -> SweepResult:
+) -> Union[R, FailedRun]:
     """One serial retry of a failed spec; reports a FailedRun on re-failure."""
     logger.error(
         "sweep run %r failed (%s: %s); retrying once serially",
@@ -251,9 +273,9 @@ def _retry_serially(
 
 def _run_serial(
     specs: List[ExperimentSpec],
-    runner: Callable[[ExperimentSpec], ExperimentResult],
-) -> List[SweepResult]:
-    results: List[SweepResult] = []
+    runner: Callable[[ExperimentSpec], R],
+) -> List[Union[R, FailedRun]]:
+    results: List[Union[R, FailedRun]] = []
     total = len(specs)
     for index, spec in enumerate(specs, start=1):
         start = time.perf_counter()
@@ -271,11 +293,11 @@ def _run_serial(
 def _run_parallel(
     specs: List[ExperimentSpec],
     workers: int,
-    runner: Callable[[ExperimentSpec], ExperimentResult],
-) -> List[SweepResult]:
+    runner: Callable[[ExperimentSpec], R],
+) -> List[Union[R, FailedRun]]:
     total = len(specs)
     start = time.perf_counter()
-    results: List[SweepResult] = []
+    results: List[Union[R, FailedRun]] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(runner, spec) for spec in specs]
         logger.info("sweep: %d runs on %d worker processes", total, workers)

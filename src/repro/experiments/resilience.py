@@ -34,6 +34,7 @@ from repro.metrics.report import Table, format_figure_header
 from repro.network.bandwidth import TrafficCategory
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.overload import OverloadConfig
     from repro.experiments.runner import ExperimentResult
     from repro.observe.registry import Telemetry
 
@@ -123,6 +124,7 @@ def resilience_sweep(
     churn_rates: Sequence[float] = (0.0, 0.05),
     jobs: Optional[int] = None,
     seed: Optional[int] = None,
+    overload: Optional["OverloadConfig"] = None,
 ) -> ResilienceSweepResult:
     """Run the (loss × churn) grid; returns one table row per point.
 
@@ -130,7 +132,9 @@ def resilience_sweep(
     enabled — churn events must flow through the failure manager — and the
     same Zipf workload, so the only variable across rows is the fault
     regime. ``seed`` overrides the scale's seed, re-deriving the workload,
-    fault, and churn streams from the new root.
+    fault, and churn streams from the new root. ``overload`` optionally
+    attaches a per-node service model to every point (a zero-cost config
+    is value-identical to omitting it).
     """
     if seed is not None:
         scale = replace(scale, seed=seed)
@@ -152,6 +156,7 @@ def resilience_sweep(
                         loss_rate=loss_rate,
                     ),
                     churn=_point_churn(scale, duration, churn_rate),
+                    overload=overload,
                 )
             )
 

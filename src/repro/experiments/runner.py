@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional, Union
 
 from repro.core.cloud import CacheCloud
 from repro.core.config import CloudConfig
+from repro.core.overload import OverloadConfig
 from repro.edgecache.stats import CacheStats
 from repro.faults.churn import ChurnSchedule, ChurnSpec
 from repro.faults.injector import FaultInjector
@@ -147,6 +148,8 @@ def run_experiment(
     anti_entropy=None,
     audit: bool = False,
     telemetry: Optional["Telemetry"] = None,
+    overload: Optional[OverloadConfig] = None,
+    simulator: Optional[Simulator] = None,
 ) -> ExperimentResult:
     """Run one trace-driven experiment.
 
@@ -188,6 +191,14 @@ def run_experiment(
         attached to the cloud before the first record is fed. Recording is
         observation-only; the run's protocol behavior is identical with or
         without it.
+    overload:
+        Optional :class:`~repro.core.overload.OverloadConfig`; when given
+        (and the cloud has no controller yet), bounded per-node queues and
+        the overload controller are attached before the first record.
+    simulator:
+        Pre-built simulator (for callers that schedule their own periodic
+        observers, e.g. a :class:`~repro.metrics.collector.CloudMonitor`);
+        created internally when omitted.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -196,11 +207,14 @@ def run_experiment(
     if not 0 <= warmup < duration:
         raise ValueError(f"warmup {warmup} must lie in [0, duration)")
 
-    simulator = Simulator()
+    if simulator is None:
+        simulator = Simulator()
     if cloud is None:
         cloud = CacheCloud(config, corpus)
     if telemetry is not None:
         cloud.attach_telemetry(telemetry)
+    if overload is not None and cloud.overload is None:
+        cloud.attach_overload(overload)
     if fault_plan is not None:
         cloud.attach_faults(
             FaultInjector(
@@ -230,6 +244,11 @@ def run_experiment(
         cloud.transport.reset_accounting()
         for cache in cloud.caches:
             cache.stats = CacheStats()
+        if cloud.overload is not None:
+            # Overload statistics describe the measurement window, like
+            # every other per-cache counter (queue *state* survives — a
+            # backlog built during warm-up is still physically there).
+            cloud.overload.stats.reset()
 
     if warmup > 0:
         simulator.schedule_at(

@@ -31,6 +31,14 @@ request-latency series are added: ``request_p50_ms`` and
 ``request_p99_ms`` — the time-resolved percentiles Carlsson & Eager argue
 end-of-run means cannot substitute for. Windows with no requests record
 0.0 so the series stays aligned with the sampling grid.
+
+When an overload controller (``repro.core.overload``) is attached, three
+windowed series track graceful degradation under flash crowds — the
+icarus-style ``AVERAGE_QUEUE_SIZE`` / ``PERCENTAGE_OF_REJECTION``
+statistics, time-resolved: ``avg_queue_depth`` (mean queue depth at
+message arrivals within the window), ``rejection_rate`` (fraction of the
+window's client arrivals turned away), and ``shed_rate`` (cooperative
+work items shed or deferred per client arrival).
 """
 
 from __future__ import annotations
@@ -73,6 +81,13 @@ _LATENCY_METRICS = (
     "request_p99_ms",
 )
 
+#: Extra series sampled only when an overload controller is attached.
+_OVERLOAD_METRICS = (
+    "avg_queue_depth",
+    "rejection_rate",
+    "shed_rate",
+)
+
 
 class CloudMonitor:
     """Samples windowed cloud statistics on a fixed period."""
@@ -92,6 +107,9 @@ class CloudMonitor:
         self._track_latency = getattr(cloud, "telemetry", None) is not None
         if self._track_latency:
             names.extend(_LATENCY_METRICS)
+        self._track_overload = getattr(cloud, "overload", None) is not None
+        if self._track_overload:
+            names.extend(_OVERLOAD_METRICS)
         self.series: Dict[str, TimeSeries] = {
             name: TimeSeries(name) for name in names
         }
@@ -100,6 +118,7 @@ class CloudMonitor:
         self._last_stats = CacheStats()
         self._last_faults: Dict[str, float] = {}
         self._last_ae_repairs = 0.0
+        self._last_overload: Dict[str, float] = {}
         self._window_start = 0.0
         self._simulator = simulator
         self._process = PeriodicProcess(
@@ -135,6 +154,8 @@ class CloudMonitor:
             self._last_faults = self._fault_snapshot()
         if self._track_ae:
             self._last_ae_repairs = float(self.cloud.anti_entropy.stats.repairs)
+        if self._track_overload:
+            self._last_overload = self._overload_snapshot()
         if self._track_latency:
             self._window_start = self._simulator.now
 
@@ -145,6 +166,16 @@ class CloudMonitor:
             "timeouts": float(cloud.timeouts),
             "messages_dropped": float(cloud.faults.stats.dropped),
             "stale_refreshes": float(cloud.stale_refreshes),
+        }
+
+    def _overload_snapshot(self) -> Dict[str, float]:
+        stats = self.cloud.overload.stats
+        return {
+            "depth_sum": float(stats.queue_depth_sum),
+            "depth_samples": float(stats.queue_depth_samples),
+            "requests_admitted": float(stats.requests_admitted),
+            "requests_rejected": float(stats.requests_rejected),
+            "shed_total": float(stats.shed_total),
         }
 
     def _aggregate(self) -> CacheStats:
@@ -205,6 +236,25 @@ class CloudMonitor:
             repairs = float(self.cloud.anti_entropy.stats.repairs)
             self.series["ae_repairs"].append(now, repairs - self._last_ae_repairs)
             self._last_ae_repairs = repairs
+
+        if self._track_overload:
+            snapshot = self._overload_snapshot()
+            last = self._last_overload
+            delta = {
+                name: snapshot[name] - last.get(name, 0.0) for name in snapshot
+            }
+            samples = delta["depth_samples"]
+            self.series["avg_queue_depth"].append(
+                now, delta["depth_sum"] / samples if samples else 0.0
+            )
+            arrivals = delta["requests_admitted"] + delta["requests_rejected"]
+            self.series["rejection_rate"].append(
+                now, delta["requests_rejected"] / arrivals if arrivals else 0.0
+            )
+            self.series["shed_rate"].append(
+                now, delta["shed_total"] / arrivals if arrivals else 0.0
+            )
+            self._last_overload = snapshot
 
         if self._track_latency:
             latencies = self.cloud.telemetry.request_latencies

@@ -61,8 +61,15 @@ class TestImprovement:
         assert improvement_percent(0.0, 1.0) == 0.0
 
 
+# Subnormals are excluded: doubling a subnormal rounds (2 * 5e-324 loses
+# scale invariance), which fails the dimensionless-statistics assertions
+# below for reasons that have nothing to do with the statistics.
 positive_loads = st.lists(
-    st.floats(min_value=0.0, max_value=1e9, allow_nan=False), min_size=1, max_size=50
+    st.floats(
+        min_value=0.0, max_value=1e9, allow_nan=False, allow_subnormal=False
+    ),
+    min_size=1,
+    max_size=50,
 )
 
 

@@ -1,0 +1,73 @@
+"""Zero-cost overload equivalence and flash-crowd sweep determinism.
+
+The overload model's pass-through promise, pinned at full pipeline scale:
+attaching :data:`~repro.core.overload.ZERO_COST_OVERLOAD` (unbounded
+queues, zero service time, unreachable watermarks) to every sweep point
+must reproduce the *golden* fingerprints captured on code that predates
+the overload subsystem entirely — same outcomes, same latencies, same
+bytes, same resilience counters, hash for hash. This is the strongest
+form of "with no queues configured, the simulator is value-identical to
+the pre-overload simulator".
+
+The flash-crowd sweep itself is pinned to determinism: the same seed must
+produce the same fingerprint at any job count (the CI overload-smoke job
+re-checks this cross-process).
+"""
+
+from repro.core.overload import ZERO_COST_OVERLOAD
+from repro.experiments.figures import TINY_SCALE, figure3, figure6
+from repro.experiments.overload import overload_sweep
+from repro.experiments.reporting import fingerprint
+from repro.experiments.resilience import resilience_sweep
+from tests.test_golden_fingerprints import (
+    GOLDEN_FIGURE3,
+    GOLDEN_FIGURE6,
+    GOLDEN_RESILIENCE,
+)
+
+
+class TestZeroCostOverloadIsValueIdentical:
+    """ZERO_COST_OVERLOAD runs hash to the pre-overload golden values."""
+
+    def test_figure3_fingerprint_unchanged(self):
+        result = figure3(TINY_SCALE, jobs=1, overload=ZERO_COST_OVERLOAD)
+        assert fingerprint(result) == GOLDEN_FIGURE3
+
+    def test_figure6_fingerprint_unchanged(self):
+        result = figure6(
+            TINY_SCALE, alphas=(0.0, 0.9), jobs=1, overload=ZERO_COST_OVERLOAD
+        )
+        assert fingerprint(result) == GOLDEN_FIGURE6
+
+    def test_resilience_fingerprint_unchanged(self):
+        result = resilience_sweep(
+            TINY_SCALE,
+            loss_rates=(0.0, 0.2),
+            churn_rates=(0.0, 0.05),
+            jobs=1,
+            overload=ZERO_COST_OVERLOAD,
+        )
+        assert fingerprint(result) == GOLDEN_RESILIENCE
+
+
+class TestOverloadSweepDeterminism:
+    def test_same_seed_same_fingerprint(self):
+        first = overload_sweep(
+            scale=TINY_SCALE, multipliers=(16.0,), jobs=1
+        )
+        second = overload_sweep(
+            scale=TINY_SCALE, multipliers=(16.0,), jobs=1
+        )
+        assert fingerprint(first) == fingerprint(second)
+        assert not first.failures
+
+    def test_saturation_engages_degradation(self):
+        result = overload_sweep(scale=TINY_SCALE, multipliers=(16.0,), jobs=1)
+        row = result.row(16.0, "cooperative")
+        rejected_percent, shed_percent = row[2], row[3]
+        assert rejected_percent > 0.0
+        assert shed_percent > 0.0
+        # The windowed monitor series rode along for both arms.
+        series = result.series[result.point_key(16.0, "cooperative")]
+        assert len(series["rejection_rate"]) == 20
+        assert max(value for _, value in series["rejection_rate"]) > 0.0
