@@ -40,6 +40,7 @@ from repro.core.config import (
 )
 from repro.core.consistent import ConsistentHashAssigner
 from repro.core.edgenetwork import EdgeCacheNetwork
+from repro.core.elastic import ElasticConfig, ElasticController, ElasticStats
 from repro.core.hashing import DynamicHashAssigner, StaticHashAssigner
 from repro.core.overload import (
     ZERO_COST_OVERLOAD,
@@ -89,6 +90,9 @@ __all__ = [
     "DynamicHashAssigner",
     "EdgeCacheNetwork",
     "EdgeCache",
+    "ElasticConfig",
+    "ElasticController",
+    "ElasticStats",
     "EuclideanTopology",
     "ExperimentResult",
     "NodeQueue",

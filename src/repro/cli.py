@@ -236,6 +236,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a SHA-256 fingerprint of the result (determinism checks)",
     )
 
+    ela = subparsers.add_parser(
+        "elastic",
+        help="diurnal autoscaling sweep: elastic sizing vs static over-/"
+        "under-provisioning across a day with a flash crowd",
+    )
+    _add_scale(ela)
+    _add_jobs(ela)
+    ela.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scale's seed (re-derives the diurnal workload)",
+    )
+    ela.add_argument("--out", help="archive the sweep result to this JSON file")
+    ela.add_argument(
+        "--fingerprint", action="store_true",
+        help="print a SHA-256 fingerprint of the result (determinism checks)",
+    )
+
     aud = subparsers.add_parser(
         "audit",
         help="chaos-audit: seeded fault+churn campaigns, quiesced, "
@@ -522,6 +539,29 @@ def _cmd_overload(args) -> int:
     return 1 if result.failures else 0
 
 
+def _cmd_elastic(args) -> int:
+    from repro.experiments.elastic import elastic_sweep
+    from repro.experiments.reporting import fingerprint, save_result
+
+    result = elastic_sweep(
+        _SCALES[args.scale], jobs=args.jobs, seed=args.seed
+    )
+    print(result.render())
+    if args.out:
+        save_result(result, args.out, "elastic")
+        print(f"archived to {args.out}")
+    if args.fingerprint:
+        print(f"fingerprint: {fingerprint(result)}")
+    if result.failures:
+        return 1
+    # The sweep exists to demonstrate the acceptance claims; an arm that
+    # breaks one (or a missing arm) is a failing run, not a shrug.
+    verdicts = result.acceptance()
+    if not verdicts or not all(verdicts.values()):
+        return 1
+    return 0
+
+
 def _cmd_audit(args) -> int:
     from repro.audit.chaos import chaos_audit_grid
     from repro.experiments.reporting import fingerprint, save_result
@@ -573,6 +613,7 @@ _HANDLERS = {
     "observe": _cmd_observe,
     "resilience": _cmd_resilience,
     "overload": _cmd_overload,
+    "elastic": _cmd_elastic,
     "audit": _cmd_audit,
     "compare": _cmd_compare,
 }

@@ -68,6 +68,7 @@ from repro.workload.documents import Corpus
 
 if TYPE_CHECKING:
     from repro.audit.antientropy import AntiEntropyConfig, AntiEntropyProcess
+    from repro.core.elastic import ElasticConfig, ElasticController
     from repro.observe.registry import Telemetry
 
 __all__ = ["CacheCloud", "RequestOutcome", "RequestResult"]
@@ -185,6 +186,11 @@ class CacheCloud:
         #: ``None`` keeps the fabric fast path enabled and every protocol
         #: hot path on a single attribute check.
         self.overload: Optional[OverloadController] = None
+
+        #: Optional elastic sizing controller (``repro.core.elastic``).
+        #: ``None`` means static membership — the cloud is value-identical
+        #: to one that never imported the elastic module.
+        self.elastic: Optional["ElasticController"] = None
 
         # Background repair (repro.audit). ``None`` until attached; an
         # attached-but-disabled process is a strict no-op, so fault-free
@@ -304,6 +310,32 @@ class CacheCloud:
             self.fabric.detach_service()
         return controller
 
+    def attach_elastic(
+        self,
+        config: "ElasticConfig",
+        simulator: Optional[Simulator] = None,
+    ) -> "ElasticController":
+        """Attach (and optionally schedule) load-driven elastic sizing.
+
+        Requires ``failure_resilience=True`` and an already-attached
+        overload controller (the scale signals are its statistics). With a
+        ``simulator``, the periodic watermark check is armed immediately;
+        without one, drive :meth:`ElasticController.check` manually. If
+        ``config.initial_caches`` is set, the cloud is resized before any
+        traffic. Clients addressed to a retired node re-home to a live one
+        (``redirect_on_dead``), exactly as under churn.
+        """
+        from repro.core.elastic import ElasticController
+
+        if self.elastic is not None:
+            return self.elastic
+        controller = ElasticController(self, config)
+        self.elastic = controller
+        self.redirect_on_dead = True
+        if simulator is not None:
+            controller.start(simulator)
+        return controller
+
     def attach_anti_entropy(
         self,
         config: Optional["AntiEntropyConfig"] = None,
@@ -416,7 +448,12 @@ class CacheCloud:
             latency_ms=result.latency_ms,
         )
         telemetry.count("requests." + result.outcome.value)
-        telemetry.observe_request(now, result.latency_ms)
+        if result.outcome is not RequestOutcome.REJECTED:
+            # A rejected request has no service latency — recording its 0.0
+            # would drag every latency percentile toward zero exactly when
+            # the cloud is overloaded. Rejections are visible through the
+            # requests.rejected counter and the overload statistics.
+            telemetry.observe_request(now, result.latency_ms)
         return result
 
     def _serve_request(
@@ -678,6 +715,8 @@ class CacheCloud:
             summary.update(self.overload.stats.as_dict())
         if self.anti_entropy is not None and self.anti_entropy.config.enabled:
             summary.update(self.anti_entropy.stats.as_dict())
+        if self.elastic is not None:
+            summary.update(self.elastic.stats.as_dict())
         if self.failure_manager is not None:
             summary["failovers"] = float(self.failure_manager.failovers)
             summary["recoveries"] = float(self.failure_manager.recoveries)

@@ -59,6 +59,8 @@ class FailureResilienceManager:
         self.syncs = 0
         self.failovers = 0
         self.recoveries = 0
+        #: Voluntary (elastic scale-in) leaves via :meth:`retire_cache`.
+        self.retirements = 0
         self.stale_entries_installed = 0
         #: Replicas destroyed because the buddy holding them crashed.
         self.replicas_lost = 0
@@ -160,6 +162,12 @@ class FailureResilienceManager:
         if cache.alive:
             raise ValueError(f"cache {cache_id} is not down")
         cache.recover()
+        if cloud.overload is not None:
+            # The crashed node's backlog died with its process: without
+            # this reset the revived node would inherit a busy-until
+            # horizon (and shedding state) frozen at crash time and serve
+            # ghost backlog it no longer has.
+            cloud.overload.reset_node(cache_id)
         ring_index, position = self._home[cache_id]
         ring = cloud.assigner.rings[ring_index]
         insert_at = min(position, len(ring.members))
@@ -186,6 +194,75 @@ class FailureResilienceManager:
                 )
         cloud.invalidate_assignment_cache()
         self.recoveries += 1
+
+    def retire_cache(self, cache_id: int, now: float) -> int:
+        """Voluntarily remove a *drained* node; returns the absorber's id.
+
+        The graceful counterpart of :meth:`fail_cache`, used by elastic
+        scale-in. The node must already be empty (the elastic controller's
+        drain protocol hands off or explicitly invalidates every resident
+        copy and its holder registrations first); what remains here is the
+        membership change and the *live* directory handoff: the retiring
+        beacon's sub-range merges into its ring successor, and its current
+        directory — not a stale buddy replica — migrates there, so no
+        lookup information is lost on a voluntary leave.
+        """
+        cloud = self._cloud
+        cache = cloud.caches[cache_id]
+        if not cache.alive:
+            raise ValueError(f"cache {cache_id} is already down")
+        if len(cache.storage):
+            raise ValueError(
+                f"cache {cache_id} still holds documents; drain before retiring"
+            )
+        ring_index, _ = self._home[cache_id]
+        ring = cloud.assigner.rings[ring_index]
+        if cache_id in ring.members and len(ring.members) < 2:
+            raise ValueError(
+                f"cache {cache_id} is the last live member of ring "
+                f"{ring_index}; cannot retire it"
+            )
+        absorber = ring.remove_member(cache_id)
+        # Hand the live directory to the new sub-range owner. The drain
+        # already removed every entry naming the retiring node as holder;
+        # scrubbing again here is belt-and-braces against dead holders.
+        beacon = cloud.beacons[cache_id]
+        entries: List[Entry] = []
+        for doc_id, irh, holders in beacon.directory.snapshot():
+            live = {
+                h for h in holders if h != cache_id and cloud.caches[h].alive
+            }
+            if live:
+                entries.append((doc_id, irh, live))
+        cloud.beacons[absorber].directory.ingest(entries)
+        cloud.beacons[absorber].directory_entries_migrated += len(entries)
+        cloud.fabric.send_system(
+            cache_id,
+            absorber,
+            max(1, len(entries)) * DIRECTORY_ENTRY_BYTES,
+            TrafficCategory.DIRECTORY_MIGRATION,
+        )
+        cloud.beacons[cache_id].directory = type(beacon.directory)()
+        # The replica this node held for its predecessor moves nowhere: the
+        # owner is still alive and will re-sync next cycle. Dropping both
+        # directions keeps the replica map free of dead holders (the
+        # auditor's REPLICA_AT_DEAD_BUDDY check).
+        for owner in list(self._replicas):
+            holder, _ = self._replicas[owner]
+            if holder == cache_id:
+                del self._replicas[owner]
+        self._replicas.pop(cache_id, None)
+        # Belt-and-braces scrub of every other directory (the drain should
+        # have deregistered everything already).
+        for other_id, other_beacon in cloud.beacons.items():
+            if other_id != cache_id:
+                other_beacon.directory.drop_cache(cache_id)
+        cache.retire()
+        if cloud.overload is not None:
+            cloud.overload.reset_node(cache_id)
+        cloud.invalidate_assignment_cache()
+        self.retirements += 1
+        return absorber
 
     def __repr__(self) -> str:
         return (

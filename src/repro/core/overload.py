@@ -312,6 +312,22 @@ class OverloadController:
         self._queues.pop(node_id, None)
         self._shedding.discard(node_id)
 
+    def reset_node(self, node_id: int) -> None:
+        """Forget ``node_id``'s queue state (crash recovery / retirement).
+
+        A node's backlog is in-memory state: it dies with the process. A
+        node that failed and came back — or was voluntarily retired and
+        later re-instantiated — must therefore start with an empty queue;
+        without this, the revived node would inherit a ``busy_until``
+        horizon frozen at crash time and serve ghost backlog it no longer
+        has. Leaving the shedding state counts as a shed exit so the
+        entry/exit counters stay paired.
+        """
+        self._queues.pop(node_id, None)
+        if node_id in self._shedding:
+            self._shedding.discard(node_id)
+            self.stats.shed_exits += 1
+
     def queue_for(self, node_id: int) -> NodeQueue:
         """Fetch-or-create the node's queue (drained to the clock)."""
         queue = self._queues.get(node_id)

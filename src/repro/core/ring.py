@@ -380,7 +380,16 @@ class BeaconRing:
         donor_index = index % m
         donor_width = self._width(donor_index)
         if donor_width < 2:
-            raise ValueError("donor sub-range too small to split")
+            # The member at the requested position cannot split (rebalance
+            # can shrink an arc to a single IrH value). A join — crash
+            # recovery or an elastic warm join — must not abort for that:
+            # fall back to the widest arc in the ring (ties to the lowest
+            # index, so the choice is deterministic) and insert there.
+            donor_index = max(range(m), key=lambda i: (self._width(i), -i))
+            donor_width = self._width(donor_index)
+            if donor_width < 2:
+                raise ValueError("no sub-range wide enough to split")
+            index = donor_index
         new_start = self._starts[donor_index]
         half = donor_width // 2
         self._starts[donor_index] = (new_start + half) % self.intra_gen

@@ -135,6 +135,21 @@ class EdgeCache:
         """Bring the node back with cold storage."""
         self.alive = True
 
+    def retire(self) -> None:
+        """Take the node out of service *voluntarily* (elastic scale-in).
+
+        Unlike :meth:`fail`, retirement must not destroy documents: the
+        caller (the elastic controller's drain protocol) is responsible for
+        handing off or explicitly invalidating every resident copy first,
+        and this method enforces that contract.
+        """
+        if len(self.storage):
+            raise ValueError(
+                f"cache {self.cache_id} still holds {len(self.storage)} "
+                "documents; drain before retiring"
+            )
+        self.alive = False
+
     def __repr__(self) -> str:
         state = "up" if self.alive else "down"
         return (

@@ -46,6 +46,7 @@ from typing import (
 )
 
 from repro.core.config import CloudConfig
+from repro.core.elastic import ElasticConfig
 from repro.core.overload import OverloadConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.faults.churn import ChurnSpec
@@ -144,6 +145,9 @@ class ExperimentSpec:
     #: the spec — never by :class:`CloudConfig` — so results embedding the
     #: config stay schema-identical with and without it.
     overload: Optional[OverloadConfig] = None
+    #: Optional elastic sizing policy (requires ``overload`` and
+    #: ``failure_resilience=True``); frozen and picklable like the rest.
+    elastic: Optional[ElasticConfig] = None
 
 
 @dataclass
@@ -185,6 +189,7 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         anti_entropy=spec.anti_entropy,
         audit=spec.audit,
         overload=spec.overload,
+        elastic=spec.elastic,
     )
     result.unique_request_docs = len(trace.request_counts_by_doc())
     return result.detached()

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional, Union
 
 from repro.core.cloud import CacheCloud
 from repro.core.config import CloudConfig
+from repro.core.elastic import ElasticConfig
 from repro.core.overload import OverloadConfig
 from repro.edgecache.stats import CacheStats
 from repro.faults.churn import ChurnSchedule, ChurnSpec
@@ -149,6 +150,7 @@ def run_experiment(
     audit: bool = False,
     telemetry: Optional["Telemetry"] = None,
     overload: Optional[OverloadConfig] = None,
+    elastic: Optional[ElasticConfig] = None,
     simulator: Optional[Simulator] = None,
 ) -> ExperimentResult:
     """Run one trace-driven experiment.
@@ -195,6 +197,11 @@ def run_experiment(
         Optional :class:`~repro.core.overload.OverloadConfig`; when given
         (and the cloud has no controller yet), bounded per-node queues and
         the overload controller are attached before the first record.
+    elastic:
+        Optional :class:`~repro.core.elastic.ElasticConfig`; when given,
+        the elastic sizing controller is attached (requires ``overload``
+        and ``failure_resilience=True``) and its periodic watermark check
+        is scheduled on the simulator.
     simulator:
         Pre-built simulator (for callers that schedule their own periodic
         observers, e.g. a :class:`~repro.metrics.collector.CloudMonitor`);
@@ -215,6 +222,8 @@ def run_experiment(
         cloud.attach_telemetry(telemetry)
     if overload is not None and cloud.overload is None:
         cloud.attach_overload(overload)
+    if elastic is not None and cloud.elastic is None:
+        cloud.attach_elastic(elastic, simulator)
     if fault_plan is not None:
         cloud.attach_faults(
             FaultInjector(
@@ -257,6 +266,8 @@ def run_experiment(
     simulator.run_until(duration)
     if schedule is not None:
         schedule.finalize(duration)
+    if cloud.elastic is not None:
+        cloud.elastic.finalize(duration)
 
     span = duration - warmup
     beacon_loads = {

@@ -5,7 +5,9 @@ networks instead see *churn* — nodes leaving and rejoining continuously —
 and Carlsson & Eager argue caches must be evaluated under exactly that
 regime rather than at steady state. This module provides:
 
-* :class:`ChurnEvent` — one scripted ``fail``/``recover`` at a time.
+* :class:`ChurnEvent` — one scripted ``fail``/``recover`` at a time (plus
+  the voluntary ``instantiate``/``retire`` scale actions executed through
+  an attached :class:`~repro.core.elastic.ElasticController`).
 * :class:`ChurnSpec` — a small picklable recipe: scripted events plus an
   optional Poisson process (failure rate, mean exponential downtime), all
   derived from a seed so sweeps stay deterministic at any job count.
@@ -35,6 +37,14 @@ from repro.simulation.rng import derive_seed
 
 FAIL = "fail"
 RECOVER = "recover"
+#: Elastic scale events: voluntary membership changes driven by (or through)
+#: an attached :class:`~repro.core.elastic.ElasticController`. They share the
+#: churn event plumbing — same hooks, same redirect-on-dead behaviour — but
+#: are counted separately from crashes in :class:`ChurnStats`.
+INSTANTIATE = "instantiate"
+RETIRE = "retire"
+
+_ACTIONS = (FAIL, RECOVER, INSTANTIATE, RETIRE)
 
 
 @dataclass(frozen=True)
@@ -48,8 +58,8 @@ class ChurnEvent:
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError(f"event time must be >= 0, got {self.time}")
-        if self.action not in (FAIL, RECOVER):
-            raise ValueError(f"action must be '{FAIL}' or '{RECOVER}'")
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}")
 
 
 @dataclass(frozen=True)
@@ -104,6 +114,11 @@ class ChurnStats:
     failures: int = 0
     recoveries: int = 0
     skipped: int = 0
+    #: Scripted elastic scale events executed through the schedule. Kept
+    #: apart from ``failures``/``recoveries``: a voluntary retirement drains
+    #: its documents and loses nothing, a crash loses everything.
+    scale_outs: int = 0
+    scale_ins: int = 0
     #: Closed unavailability windows, total simulated minutes.
     unavailability_minutes: float = 0.0
     unavailability_windows: int = 0
@@ -129,13 +144,20 @@ class ChurnStats:
 
     def as_dict(self) -> Dict[str, float]:
         """Flat summary for reports."""
-        return {
+        data = {
             "churn_failures": float(self.failures),
             "churn_recoveries": float(self.recoveries),
             "churn_skipped": float(self.skipped),
             "unavailability_minutes": self.unavailability_minutes,
             "unavailability_windows": float(self.unavailability_windows),
         }
+        # Scale counters appear only when scale events actually ran: crash
+        # -only schedules keep the exact legacy schema (the resilience
+        # golden fingerprint hashes this dict).
+        if self.scale_outs or self.scale_ins:
+            data["churn_scale_outs"] = float(self.scale_outs)
+            data["churn_scale_ins"] = float(self.scale_ins)
+        return data
 
 
 class ChurnSchedule:
@@ -212,6 +234,8 @@ class ChurnSchedule:
 
     def _apply_inner(self, cloud, event: ChurnEvent, now: float) -> bool:
         cache = cloud.caches[event.cache_id]
+        if event.action in (INSTANTIATE, RETIRE):
+            return self._apply_scale(cloud, event, now)
         if event.action == FAIL:
             if not cache.alive or self._is_last_live_ring_member(
                 cloud, event.cache_id
@@ -228,6 +252,41 @@ class ChurnSchedule:
         cloud.recover_cache(event.cache_id, now)
         self.stats.recoveries += 1
         self.stats.close_window(event.cache_id, now)
+        return True
+
+    def _apply_scale(self, cloud, event: ChurnEvent, now: float) -> bool:
+        """Execute a scripted scale event via the cloud's elastic controller.
+
+        Scale events are *voluntary*: a ``retire`` drains the node through
+        the elastic controller's safe-drain protocol (never through
+        ``fail_cache``) and an ``instantiate`` warm-joins a standby. They
+        need an attached :class:`~repro.core.elastic.ElasticController`;
+        without one they are skipped, like any other inapplicable event.
+        Scripted events bypass the controller's min/max bounds — they are
+        explicit operator actions, not watermark decisions.
+        """
+        controller = getattr(cloud, "elastic", None)
+        cache = cloud.caches[event.cache_id]
+        if event.action == RETIRE:
+            if (
+                controller is None
+                or not cache.alive
+                or self._is_last_live_ring_member(cloud, event.cache_id)
+            ):
+                self.stats.skipped += 1
+                return False
+            controller.retire_node(event.cache_id, now)
+            self.stats.scale_ins += 1
+            return True
+        if controller is None or cache.alive or not controller.is_standby(
+            event.cache_id
+        ):
+            # A crash-downed node is not a standby: it comes back through
+            # ``recover``, not ``instantiate``.
+            self.stats.skipped += 1
+            return False
+        controller.instantiate_node(event.cache_id, now)
+        self.stats.scale_outs += 1
         return True
 
     def finalize(self, now: float) -> None:

@@ -39,6 +39,11 @@ statistics, time-resolved: ``avg_queue_depth`` (mean queue depth at
 message arrivals within the window), ``rejection_rate`` (fraction of the
 window's client arrivals turned away), and ``shed_rate`` (cooperative
 work items shed or deferred per client arrival).
+
+When an elastic controller (``repro.core.elastic``) is attached, four more
+series track the autoscaler: ``cloud_size`` (gauge: live caches),
+``scale_out_events`` / ``scale_in_events`` (windowed membership changes),
+and ``drain_bytes`` (windowed scale-in handoff traffic).
 """
 
 from __future__ import annotations
@@ -88,6 +93,16 @@ _OVERLOAD_METRICS = (
     "shed_rate",
 )
 
+#: Extra series sampled only when an elastic controller is attached:
+#: ``cloud_size`` (gauge: live caches), windowed scale event counts, and
+#: windowed drain traffic — the time-resolved view of the autoscaler.
+_ELASTIC_METRICS = (
+    "cloud_size",
+    "scale_out_events",
+    "scale_in_events",
+    "drain_bytes",
+)
+
 
 class CloudMonitor:
     """Samples windowed cloud statistics on a fixed period."""
@@ -110,6 +125,9 @@ class CloudMonitor:
         self._track_overload = getattr(cloud, "overload", None) is not None
         if self._track_overload:
             names.extend(_OVERLOAD_METRICS)
+        self._track_elastic = getattr(cloud, "elastic", None) is not None
+        if self._track_elastic:
+            names.extend(_ELASTIC_METRICS)
         self.series: Dict[str, TimeSeries] = {
             name: TimeSeries(name) for name in names
         }
@@ -119,6 +137,7 @@ class CloudMonitor:
         self._last_faults: Dict[str, float] = {}
         self._last_ae_repairs = 0.0
         self._last_overload: Dict[str, float] = {}
+        self._last_elastic: Dict[str, float] = {}
         self._window_start = 0.0
         self._simulator = simulator
         self._process = PeriodicProcess(
@@ -156,6 +175,8 @@ class CloudMonitor:
             self._last_ae_repairs = float(self.cloud.anti_entropy.stats.repairs)
         if self._track_overload:
             self._last_overload = self._overload_snapshot()
+        if self._track_elastic:
+            self._last_elastic = self._elastic_snapshot()
         if self._track_latency:
             self._window_start = self._simulator.now
 
@@ -176,6 +197,14 @@ class CloudMonitor:
             "requests_admitted": float(stats.requests_admitted),
             "requests_rejected": float(stats.requests_rejected),
             "shed_total": float(stats.shed_total),
+        }
+
+    def _elastic_snapshot(self) -> Dict[str, float]:
+        stats = self.cloud.elastic.stats
+        return {
+            "scale_out_events": float(stats.scale_out_events),
+            "scale_in_events": float(stats.scale_in_events),
+            "drain_bytes": float(stats.drain_bytes),
         }
 
     def _aggregate(self) -> CacheStats:
@@ -255,6 +284,18 @@ class CloudMonitor:
                 now, delta["shed_total"] / arrivals if arrivals else 0.0
             )
             self._last_overload = snapshot
+
+        if self._track_elastic:
+            self.series["cloud_size"].append(
+                now, float(self.cloud.elastic.active_count())
+            )
+            snapshot = self._elastic_snapshot()
+            last = self._last_elastic
+            for name in ("scale_out_events", "scale_in_events", "drain_bytes"):
+                self.series[name].append(
+                    now, snapshot[name] - last.get(name, 0.0)
+                )
+            self._last_elastic = snapshot
 
         if self._track_latency:
             latencies = self.cloud.telemetry.request_latencies

@@ -61,6 +61,17 @@ class SydneyConfig:
     num_flash_crowds: int = 4
     flash_duration_minutes: float = 20.0
     flash_multiplier: float = 8.0
+    # Flash *volume*: by default a flash crowd redirects traffic to the hot
+    # page without changing the total rate (the thinned-Poisson envelope is
+    # untouched). A boost > 1 additionally multiplies the cloud-wide
+    # request rate inside every flash window — the "everyone opens the
+    # site at once" regime elastic sizing exists for. 1.0 leaves every RNG
+    # stream byte-identical to the legacy generator.
+    flash_rate_boost: float = 1.0
+    # Scripted flash-crowd start times (minutes). ``None`` places the
+    # ``num_flash_crowds`` windows randomly; a tuple pins each window's
+    # start so experiments can align flash crowds across arms and seeds.
+    flash_times: Optional[Tuple[float, ...]] = None
     # Updates: `live_fraction` of documents receive `live_update_share` of updates.
     live_fraction: float = 0.02
     live_update_share: float = 0.9
@@ -84,6 +95,14 @@ class SydneyConfig:
             raise ValueError("live_update_share must be in [0, 1]")
         if self.drift_pool > self.num_documents:
             raise ValueError("drift_pool cannot exceed num_documents")
+        if self.flash_rate_boost < 1.0:
+            raise ValueError("flash_rate_boost must be >= 1.0")
+        if self.flash_times is not None:
+            for start in self.flash_times:
+                if not 0.0 <= start < self.duration_minutes:
+                    raise ValueError(
+                        f"flash start {start} outside [0, duration_minutes)"
+                    )
 
 
 class SydneyTraceGenerator:
@@ -123,12 +142,17 @@ class SydneyTraceGenerator:
         """Plan (start, end, rank) flash-crowd windows over the trace."""
         cfg = self.config
         rng = self._streams.get("flash-crowds")
+        # Flash crowds hit a mid-popularity page (a suddenly newsworthy one).
+        lo = min(100, max(1, cfg.num_documents // 10))
+        hi = max(lo + 1, min(cfg.drift_pool, cfg.num_documents))
         events = []
+        if cfg.flash_times is not None:
+            for start in cfg.flash_times:
+                rank = rng.randrange(lo, hi)
+                events.append((start, start + cfg.flash_duration_minutes, rank))
+            return sorted(events)
         for _ in range(cfg.num_flash_crowds):
             start = rng.uniform(0.0, max(cfg.duration_minutes - cfg.flash_duration_minutes, 0.0))
-            # Flash crowds hit a mid-popularity page (a suddenly newsworthy one).
-            lo = min(100, max(1, cfg.num_documents // 10))
-            hi = max(lo + 1, min(cfg.drift_pool, cfg.num_documents))
             rank = rng.randrange(lo, hi)
             events.append((start, start + cfg.flash_duration_minutes, rank))
         return sorted(events)
@@ -173,11 +197,20 @@ class SydneyTraceGenerator:
         # Thinning bound must also cover flash-crowd amplification of the total
         # rate; a flash crowd multiplies one page's share, adding at most
         # (multiplier - 1) * p(rank) to the acceptance mass, bounded by 1+slack.
-        for t in _poisson(peak_rate * 1.0, cfg.duration_minutes, arrival_rng):
-            if thin_rng.random() > self.diurnal_factor(t):
+        # A volume boost B > 1 generates candidate arrivals at B times the
+        # peak rate and scales the acceptance envelope by B inside flash
+        # windows (capped at certainty), so the realized rate is diurnal
+        # outside flashes and up to B-fold during them. B == 1 reproduces
+        # the legacy draw sequence exactly.
+        volume = cfg.flash_rate_boost
+        for t in _poisson(peak_rate * volume, cfg.duration_minutes, arrival_rng):
+            boost_rank = self._flash_boost(t)
+            envelope = self.diurnal_factor(t)
+            if volume > 1.0 and boost_rank is not None:
+                envelope = min(volume, envelope * volume)
+            if thin_rng.random() > envelope / volume:
                 continue
             rank = sampler.sample()
-            boost_rank = self._flash_boost(t)
             if boost_rank is not None:
                 # Redirect a slice of traffic to the flash page: each request
                 # flips to the flash page with a probability that multiplies
@@ -211,6 +244,11 @@ class SydneyTraceGenerator:
     def live_documents(self) -> List[int]:
         """Document ids forming the frequently updated "live" subset."""
         return list(self._live_docs)
+
+    @property
+    def flash_windows(self) -> List[Tuple[float, float]]:
+        """The planned flash-crowd ``(start, end)`` windows, time-sorted."""
+        return [(start, end) for start, end, _ in self._flash_events]
 
     def __repr__(self) -> str:
         cfg = self.config

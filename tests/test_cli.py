@@ -24,6 +24,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
 
+    def test_elastic_flags_parse(self):
+        args = build_parser().parse_args(
+            ["elastic", "--scale", "tiny", "--jobs", "2", "--seed", "9",
+             "--fingerprint"]
+        )
+        assert args.command == "elastic"
+        assert args.scale == "tiny"
+        assert args.jobs == 2
+        assert args.seed == 9
+        assert args.fingerprint
+        assert args.out is None
+
 
 class TestCommands:
     def test_figure3_tiny(self, capsys):

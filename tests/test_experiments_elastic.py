@@ -1,0 +1,120 @@
+"""The diurnal autoscaling sweep: arms, acceptance, and determinism.
+
+The tiny-scale sweep runs in a few seconds and is the anchor here: its
+acceptance verdicts (elastic matches the over-provisioned arm's flash
+tail at fewer node-minutes, beats the under-provisioned arm's rejection
+rate, scales both ways, audits clean) are asserted directly, and the
+fingerprint must be identical at any job count (CI's elastic-smoke job
+re-checks this cross-process).
+"""
+
+import pytest
+
+from repro.core.elastic import ElasticConfig
+from repro.experiments.elastic import (
+    ARMS,
+    MIN_CACHES,
+    NUM_CACHES,
+    _arm_elastic_config,
+    _service_model,
+    elastic_sweep,
+    flash_window,
+)
+from repro.experiments.figures import SMALL_SCALE, TINY_SCALE
+from repro.experiments.reporting import fingerprint
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return elastic_sweep(TINY_SCALE, jobs=1)
+
+
+class TestArmConfigs:
+    def test_bounds_pin_the_static_arms(self):
+        over = _arm_elastic_config("over", TINY_SCALE)
+        assert over.min_caches == over.max_caches == NUM_CACHES
+        assert over.initial_caches is None
+        under = _arm_elastic_config("under", TINY_SCALE)
+        assert under.min_caches == under.max_caches == MIN_CACHES
+        elastic = _arm_elastic_config("elastic", TINY_SCALE)
+        assert (elastic.min_caches, elastic.max_caches) == (
+            MIN_CACHES,
+            NUM_CACHES,
+        )
+        assert elastic.initial_caches == MIN_CACHES
+
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(ValueError):
+            _arm_elastic_config("sideways", TINY_SCALE)
+
+    def test_every_arm_config_validates(self):
+        for arm in ARMS:
+            assert isinstance(_arm_elastic_config(arm, TINY_SCALE), ElasticConfig)
+
+    def test_service_model_normalizes_utilization_across_scales(self):
+        tiny = _service_model(TINY_SCALE)
+        small = _service_model(SMALL_SCALE)
+        # Utilization = rate x service time is scale-invariant.
+        assert small.service_ms * SMALL_SCALE.request_rate_per_cache == (
+            pytest.approx(tiny.service_ms * TINY_SCALE.request_rate_per_cache)
+        )
+
+    def test_flash_window_fractions(self):
+        start, end = flash_window(100.0)
+        assert start == pytest.approx(55.0)
+        assert end == pytest.approx(65.0)
+
+
+class TestTinySweep:
+    def test_all_arms_complete(self, tiny_sweep):
+        assert not tiny_sweep.failures
+        assert set(tiny_sweep.arms) == set(ARMS)
+        assert len(tiny_sweep.rows) == len(ARMS)
+
+    def test_acceptance_criteria_hold(self, tiny_sweep):
+        verdicts = tiny_sweep.acceptance()
+        assert verdicts, "an arm is missing"
+        failing = [name for name, ok in verdicts.items() if not ok]
+        assert not failing, f"acceptance failed: {failing}"
+
+    def test_elastic_arm_actually_scaled(self, tiny_sweep):
+        elastic = tiny_sweep.arms["elastic"]
+        assert elastic.scale_out_events > 0
+        assert elastic.scale_in_events > 0
+        # The vacuity check CI's smoke job also runs: the size series must
+        # actually move, or the comparison is three static arms.
+        sizes = {v for _, v in elastic.series["cloud_size"]}
+        assert len(sizes) > 1
+        assert elastic.drain_bytes > 0
+        assert elastic.docs_handed_off > 0
+
+    def test_static_arms_never_scale(self, tiny_sweep):
+        for arm in ("over", "under"):
+            result = tiny_sweep.arms[arm]
+            assert result.scale_out_events == 0
+            assert result.scale_in_events == 0
+            sizes = {v for _, v in result.series["cloud_size"]}
+            assert len(sizes) == 1
+
+    def test_scale_in_audits_ran_and_were_clean(self, tiny_sweep):
+        elastic = tiny_sweep.arms["elastic"]
+        assert elastic.scale_in_audits >= elastic.scale_in_events > 0
+        assert elastic.scale_in_audit_violations == 0
+        for result in tiny_sweep.arms.values():
+            assert result.final_audit_violations == 0
+
+    def test_render_reports_verdicts(self, tiny_sweep):
+        rendered = tiny_sweep.render()
+        assert "acceptance:" in rendered
+        assert "FAIL" not in rendered
+        for arm in ARMS:
+            assert arm in rendered
+
+    def test_fingerprint_is_job_count_invariant(self, tiny_sweep):
+        parallel = elastic_sweep(TINY_SCALE, jobs=2)
+        assert fingerprint(parallel) == fingerprint(tiny_sweep)
+
+    def test_seed_override_changes_the_workload(self, tiny_sweep):
+        reseeded = elastic_sweep(TINY_SCALE, jobs=1, seed=99)
+        assert fingerprint(reseeded) != fingerprint(tiny_sweep)
+        assert set(reseeded.arms) == set(ARMS)
