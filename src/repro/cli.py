@@ -27,7 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
-from repro.experiments import ablations, extensions, figures
+from repro.experiments import ablations, extensions, figures, zoo
 from repro.experiments.runner import run_experiment
 from repro.workload.documents import build_corpus
 from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
@@ -37,6 +37,12 @@ _SCALES = {
     "tiny": figures.TINY_SCALE,
     "small": figures.SMALL_SCALE,
     "paper": figures.PAPER_SCALE,
+}
+
+_ZOO_SCALES = {
+    "tiny": zoo.ZOO_TINY,
+    "small": zoo.ZOO_SMALL,
+    "scale": zoo.ZOO_SCALE,
 }
 
 _FIGURES = {
@@ -249,6 +255,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ela.add_argument("--out", help="archive the sweep result to this JSON file")
     ela.add_argument(
+        "--fingerprint", action="store_true",
+        help="print a SHA-256 fingerprint of the result (determinism checks)",
+    )
+
+    zoo = subparsers.add_parser(
+        "zoo",
+        help="strategy zoo: every caching strategy (paper placements + "
+        "LCE/LCD/ProbCache/CUP-tree) over one shared workload, ranked",
+    )
+    zoo.add_argument(
+        "--scale",
+        choices=sorted(_ZOO_SCALES),
+        default="small",
+        help="sweep scale (tiny for smoke runs; scale = 1000 caches, "
+        "10M streamed requests per arm)",
+    )
+    _add_jobs(zoo)
+    zoo.add_argument(
+        "--schemes", nargs="+", default=None, metavar="SCHEME",
+        help="subset of strategies to run (default: the whole zoo)",
+    )
+    zoo.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scale's seed (re-derives the shared workload)",
+    )
+    zoo.add_argument(
+        "--checkpoint",
+        help="resume file: completed arms are recorded here and skipped "
+        "when the sweep restarts with the same arguments",
+    )
+    zoo.add_argument(
+        "--materialize", action="store_true",
+        help="build the full trace in memory instead of streaming it "
+        "(value-identical; only useful for memory comparisons)",
+    )
+    zoo.add_argument("--out", help="archive the sweep result to this JSON file")
+    zoo.add_argument(
         "--fingerprint", action="store_true",
         help="print a SHA-256 fingerprint of the result (determinism checks)",
     )
@@ -562,6 +605,27 @@ def _cmd_elastic(args) -> int:
     return 0
 
 
+def _cmd_zoo(args) -> int:
+    from repro.experiments.reporting import fingerprint, save_result
+    from repro.experiments.zoo import DEFAULT_SCHEMES, zoo_sweep
+
+    result = zoo_sweep(
+        _ZOO_SCALES[args.scale],
+        schemes=tuple(args.schemes) if args.schemes else DEFAULT_SCHEMES,
+        jobs=args.jobs,
+        seed=args.seed,
+        streaming=not args.materialize,
+        checkpoint=args.checkpoint,
+    )
+    print(result.render())
+    if args.out:
+        save_result(result, args.out, "zoo")
+        print(f"archived to {args.out}")
+    if args.fingerprint:
+        print(f"fingerprint: {fingerprint(result)}")
+    return 1 if result.failures else 0
+
+
 def _cmd_audit(args) -> int:
     from repro.audit.chaos import chaos_audit_grid
     from repro.experiments.reporting import fingerprint, save_result
@@ -614,6 +678,7 @@ _HANDLERS = {
     "resilience": _cmd_resilience,
     "overload": _cmd_overload,
     "elastic": _cmd_elastic,
+    "zoo": _cmd_zoo,
     "audit": _cmd_audit,
     "compare": _cmd_compare,
 }

@@ -2,10 +2,11 @@
 
 :class:`CacheCloud` wires together everything the paper describes — a set
 of edge caches, the beacon-point role at every cache, a document→beacon
-assignment scheme (static / consistent / dynamic hashing), a placement
-policy, the origin server — and composes them around one
-:class:`~repro.core.fabric.MessageFabric`, the single dispatch seam every
-protocol message crosses.
+assignment scheme (static / consistent / dynamic hashing), a cooperative
+caching *strategy* (``repro.strategies`` — forwarding, admission, and
+update propagation behind one three-hook seam), the origin server — and
+composes them around one :class:`~repro.core.fabric.MessageFabric`, the
+single dispatch seam every protocol message crosses.
 
 The protocol logic itself lives in the role modules:
 
@@ -64,6 +65,8 @@ from repro.network.origin import OriginServer
 from repro.network.transport import CONTROL_MESSAGE_BYTES, Transport
 from repro.simulation.engine import Simulator
 from repro.simulation.process import PeriodicProcess
+from repro.strategies.base import CacheStrategy
+from repro.strategies.paper import strategy_for
 from repro.workload.documents import Corpus
 
 if TYPE_CHECKING:
@@ -89,6 +92,13 @@ class CacheCloud:
         Byte-accounted wire; a zero-latency one is created when omitted.
     capture_protocol:
         Enable :class:`ProtocolTrace` message capture (tests only).
+    strategy:
+        Optional :class:`~repro.strategies.base.CacheStrategy` override.
+        ``None`` composes the config's own placement scheme through the
+        strategy plane — behaviour (and fingerprints) identical to the
+        pre-strategy cloud. Carried as a constructor argument — never as a
+        config field — so archived results embedding the config keep
+        their schema.
     """
 
     def __init__(
@@ -98,6 +108,7 @@ class CacheCloud:
         origin: Optional[OriginServer] = None,
         transport: Optional[Transport] = None,
         capture_protocol: bool = False,
+        strategy: Optional[CacheStrategy] = None,
     ) -> None:
         self.config = config
         self.corpus = corpus
@@ -133,6 +144,21 @@ class CacheCloud:
         self.origin_role = OriginRole(self, self.origin)
         self.assigner = self._build_assigner()
         self.placement = make_placement(config)
+        if strategy is None:
+            # Default composition: the config's own placement scheme behind
+            # the strategy seam, sharing the policy *object* with
+            # ``self.placement`` so adaptive layers that retune it keep
+            # steering the live strategy.
+            strategy = strategy_for(config, self.placement)
+        else:
+            policy = getattr(strategy, "policy", None)
+            if policy is not None:
+                # Keep the reporting/adaptive surface aligned with the
+                # policy the composed strategy actually consults.
+                self.placement = policy
+        #: The composed cooperative-caching strategy: every forwarding,
+        #: admission, and update-propagation decision flows through it.
+        self.strategy: CacheStrategy = strategy
         self.failure_manager: Optional[FailureResilienceManager] = None
         if config.failure_resilience:
             if config.assignment is not AssignmentScheme.DYNAMIC:
@@ -582,8 +608,11 @@ class CacheCloud:
             # holder individually, exactly like the no-cooperation baseline.
             self.beacon_unreachable += 1
             return self.origin_role.refresh_holders(doc_id, version, size, now)
-        return self.beacon_roles[beacon_id].propagate_update(
-            doc_id, version, size, now
+        # Propagation is the strategy's third hook: the default answers
+        # with the beacon's star fan-out, CUP-style strategies push along
+        # an interest tree rooted at the same beacon.
+        return self.strategy.on_update(
+            self.beacon_roles[beacon_id], doc_id, version, size, now
         )
 
     # ------------------------------------------------------------------

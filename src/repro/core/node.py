@@ -3,8 +3,11 @@
 :class:`CacheNode` wraps one :class:`~repro.edgecache.cache.EdgeCache`
 with the message protocols the requester side of the paper speaks:
 collaborative miss handling (lookup at the beacon point, peer transfer or
-origin fetch), the placement decision that ends every retrieval, holder
-registration, and eviction notices. The no-cooperation baseline
+origin fetch), holder registration, and eviction notices. The *decisions*
+along that path — how a group-miss fetch is routed and who stores the
+retrieved copy — are delegated to the cloud's composed
+:class:`~repro.strategies.base.CacheStrategy`; this module owns the
+message legs only. The no-cooperation baseline
 (:meth:`CacheNode.fetch_direct`) lives here too — it is the same node
 talking only to the origin.
 
@@ -21,7 +24,6 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.config import PlacementScheme
 from repro.core.protocol import (
     DocumentTransfer,
     EvictionNotice,
@@ -32,6 +34,7 @@ from repro.core.protocol import (
 from repro.core.utility import PlacementContext
 from repro.edgecache.cache import EdgeCache
 from repro.network.bandwidth import TrafficCategory
+from repro.strategies.base import FetchRoute, ReplyHop, Retrieval, ServedFrom
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.cloud import CacheCloud
@@ -79,6 +82,11 @@ class CacheNode:
     def cache_id(self) -> int:
         """The wrapped cache's id."""
         return self.cache.cache_id
+
+    @property
+    def cloud(self) -> "CacheCloud":
+        """The owning cloud (public handle for the strategy plane)."""
+        return self._cloud
 
     # ------------------------------------------------------------------
     # Collaborative miss handling (paper §2.1)
@@ -230,13 +238,12 @@ class CacheNode:
         else:
             cache.stats.origin_fetches += 1
             outcome = RequestOutcome.ORIGIN_FETCH
-            if (
-                cloud.config.placement is PlacementScheme.BEACON
-                and cache_id != beacon_id
-            ):
-                # Beacon-point placement: the copy must land at the beacon,
-                # so the fetch is routed through it.
-                return self._beacon_placed_fetch(
+            route = cloud.strategy.on_lookup(self, doc_id, beacon_id)
+            if route is FetchRoute.VIA_BEACON:
+                # The strategy wants an on-path storage point (beacon-point
+                # placement, or the LCE/LCD/ProbCache chain), so the fetch
+                # is routed through the beacon.
+                return self._beacon_routed_fetch(
                     doc_id, size, version, now, beacon_id, lookup.latency
                 )
             cloud.origin.serve_fetch(doc_id)
@@ -260,25 +267,28 @@ class CacheNode:
                 tel.end_span(fetch_span, fetch_start + transfer_latency)
             served_by = cloud.origin.node_id
 
-        # Placement decision at the requester.
-        ctx = self.placement_context(doc_id, size, now, beacon_id)
-        stored = cloud.placement.should_store(ctx)
-        decision_time = now + lookup.latency + transfer_latency
-        placement_span: Optional["Span"] = None
-        if tel is not None:
-            placement_span = tel.begin_span(
-                "placement", decision_time, stored=stored
-            )
-        if stored:
-            self.admit_and_register(doc_id, size, version, now)
-        else:
-            cache.decline()
-        if tel is not None and placement_span is not None:
-            tel.end_span(placement_span, decision_time)
+        # Admission decision at the requester, delegated to the strategy.
+        cloud.strategy.on_retrieval(
+            self,
+            Retrieval(
+                doc_id=doc_id,
+                size_bytes=size,
+                version=version,
+                now=now,
+                beacon_id=beacon_id,
+                hop=ReplyHop.REQUESTER,
+                served_from=(
+                    ServedFrom.PEER
+                    if outcome is RequestOutcome.CLOUD_HIT
+                    else ServedFrom.ORIGIN
+                ),
+                decision_time=now + lookup.latency + transfer_latency,
+            ),
+        )
         latency_ms = MINUTES_TO_MS * (lookup.latency + transfer_latency)
         return RequestResult(outcome, latency_ms, served_by)
 
-    def _beacon_placed_fetch(
+    def _beacon_routed_fetch(
         self,
         doc_id: int,
         size: int,
@@ -287,7 +297,12 @@ class CacheNode:
         beacon_id: int,
         lookup_latency: float,
     ) -> RequestResult:
-        """Beacon-point placement fetch (origin → beacon → requester)."""
+        """Beacon-routed origin fetch (origin → beacon → requester).
+
+        Taken when the strategy's ``on_lookup`` answers ``VIA_BEACON``: the
+        beacon hop gets an on-path admission decision between the two legs,
+        and the requester gets its own at the end.
+        """
         cloud = self._cloud
         fabric = cloud.fabric
         cache_id = self.cache.cache_id
@@ -324,8 +339,21 @@ class CacheNode:
                 RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
                 lookup_latency + leg_one.latency,
             )
-        cloud.nodes[beacon_id].admit_and_register(doc_id, size, version, now)
         forward_start = leg_start + leg_one.latency
+        # On-path admission at the beacon hop, between the two legs.
+        cloud.strategy.on_retrieval(
+            cloud.nodes[beacon_id],
+            Retrieval(
+                doc_id=doc_id,
+                size_bytes=size,
+                version=version,
+                now=now,
+                beacon_id=beacon_id,
+                hop=ReplyHop.INTERMEDIATE,
+                served_from=ServedFrom.ORIGIN_VIA_BEACON,
+                decision_time=forward_start,
+            ),
+        )
         forward_span: Optional["Span"] = None
         if tel is not None:
             forward_span = tel.begin_span(
@@ -356,7 +384,21 @@ class CacheNode:
                 RequestOutcome.CLOUD_TIMEOUT_ORIGIN_FALLBACK,
                 lookup_latency + leg_one.latency + leg_two.latency,
             )
-        self.cache.decline()  # the requester never stores under beacon placement
+        # Requester-side admission at the end of the routed fetch (the
+        # beacon-point strategy declines here; the on-path family may store).
+        cloud.strategy.on_retrieval(
+            self,
+            Retrieval(
+                doc_id=doc_id,
+                size_bytes=size,
+                version=version,
+                now=now,
+                beacon_id=beacon_id,
+                hop=ReplyHop.REQUESTER,
+                served_from=ServedFrom.ORIGIN_VIA_BEACON,
+                decision_time=forward_start + leg_two.latency,
+            ),
+        )
         latency_ms = MINUTES_TO_MS * (
             lookup_latency + leg_one.latency + leg_two.latency
         )

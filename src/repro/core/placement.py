@@ -18,7 +18,12 @@ stores the copy:
   precursor of the utility function's CMC component.
 
 All policies answer through the same :meth:`PlacementPolicy.should_store`
-interface so the cloud orchestrator is scheme-agnostic.
+interface so the cloud orchestrator is scheme-agnostic. Policies are the
+*admission rule* layer only: the strategy plane (:mod:`repro.strategies`)
+wraps them into full :class:`~repro.strategies.base.CacheStrategy` objects
+(forwarding + admission + update propagation) at the cloud's composition
+root, which is also where richer schemes (LCE / LCD / ProbCache / CUP
+trees) plug in without touching this module.
 """
 
 from __future__ import annotations

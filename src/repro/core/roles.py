@@ -50,6 +50,11 @@ class BeaconRole:
         """The hosting cache's id."""
         return self.state.cache_id
 
+    @property
+    def cloud(self) -> "CacheCloud":
+        """The owning cloud (public handle for the strategy plane)."""
+        return self._cloud
+
     # ------------------------------------------------------------------
     # Lookup answering
     # ------------------------------------------------------------------
@@ -105,6 +110,11 @@ class BeaconRole:
         self, doc_id: int, version: int, size: int, now: float
     ) -> int:
         """One server→beacon transfer, fanned out in-cloud to holders.
+
+        This star fan-out is the default ``on_update`` of every strategy in
+        :mod:`repro.strategies`;
+        :class:`~repro.strategies.cup.CUPTreeStrategy` replaces it with an
+        interest-tree push rooted at the same beacon.
 
         Returns the number of holders refreshed. A lost server→beacon body
         leaves *every* holder stale; a lost fan-out push leaves that one

@@ -30,13 +30,16 @@ from __future__ import annotations
 import hashlib
 import logging
 import os
+import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
     Callable,
+    Dict,
     Iterable,
     List,
     Optional,
@@ -51,10 +54,11 @@ from repro.core.overload import OverloadConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.faults.churn import ChurnSpec
 from repro.faults.plan import FaultPlan
+from repro.strategies.spec import StrategySpec, build_strategy
 from repro.workload.documents import Corpus, build_corpus, seed_corpus_rng
 from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
 from repro.workload.sydney import SydneyConfig, SydneyTraceGenerator
-from repro.workload.trace import Trace
+from repro.workload.trace import RequestStreamStats, Trace
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.audit.antientropy import AntiEntropyConfig
@@ -106,11 +110,23 @@ class WorkloadSpec:
             fixed_size=self.corpus_fixed_size,
         )
 
+    def build_generator(
+        self,
+    ) -> Union[SyntheticTraceGenerator, SydneyTraceGenerator]:
+        """Build the trace generator without materializing any records.
+
+        Both generator classes expose lazy ``requests()`` / ``updates()``
+        iterators whose values are exactly what :meth:`build_trace` would
+        list out — the streaming run path and the materialized run path see
+        identical records.
+        """
+        if isinstance(self.generator_config, SydneyConfig):
+            return SydneyTraceGenerator(self.generator_config)
+        return SyntheticTraceGenerator(self.generator_config)
+
     def build_trace(self) -> Trace:
         """Materialize the request/update trace."""
-        if isinstance(self.generator_config, SydneyConfig):
-            return SydneyTraceGenerator(self.generator_config).build_trace()
-        return SyntheticTraceGenerator(self.generator_config).build_trace()
+        return self.build_generator().build_trace()
 
     def materialize(self) -> Tuple[Corpus, Trace]:
         """Materialize both corpus and trace."""
@@ -148,6 +164,16 @@ class ExperimentSpec:
     #: Optional elastic sizing policy (requires ``overload`` and
     #: ``failure_resilience=True``); frozen and picklable like the rest.
     elastic: Optional[ElasticConfig] = None
+    #: Optional caching-strategy recipe (:mod:`repro.strategies`); the
+    #: worker composes the cloud with
+    #: :func:`~repro.strategies.spec.build_strategy`. Carried by the spec —
+    #: never by :class:`CloudConfig` — so results embedding the config stay
+    #: schema-identical (golden fingerprints untouched).
+    strategy: Optional[StrategySpec] = None
+    #: Feed the workload through lazy iterators instead of materializing
+    #: the trace list. Value-identical records; peak resident trace state
+    #: drops from O(requests) to O(generator window).
+    streaming: bool = False
 
 
 @dataclass
@@ -176,7 +202,35 @@ R = TypeVar("R")
 
 def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     """Execute one spec; returns a detached (cloud-free, picklable) result."""
-    corpus, trace = spec.workload.materialize()
+    corpus = spec.workload.build_corpus()
+    strategy = (
+        build_strategy(spec.strategy, spec.config)
+        if spec.strategy is not None
+        else None
+    )
+    if spec.streaming:
+        # Out-of-core path: the trace is never held as a list. The counting
+        # wrapper preserves ``unique_request_docs`` at O(corpus) state.
+        generator = spec.workload.build_generator()
+        counter = RequestStreamStats(generator.requests())
+        result = run_experiment(
+            spec.config,
+            corpus,
+            counter,
+            generator.updates(),
+            duration=spec.duration,
+            warmup=spec.warmup,
+            fault_plan=spec.fault_plan,
+            churn=spec.churn,
+            anti_entropy=spec.anti_entropy,
+            audit=spec.audit,
+            overload=spec.overload,
+            elastic=spec.elastic,
+            strategy=strategy,
+        )
+        result.unique_request_docs = counter.unique_docs
+        return result.detached()
+    trace = spec.workload.build_trace()
     result = run_experiment(
         spec.config,
         corpus,
@@ -190,6 +244,7 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         audit=spec.audit,
         overload=spec.overload,
         elastic=spec.elastic,
+        strategy=strategy,
     )
     result.unique_request_docs = len(trace.request_counts_by_doc())
     return result.detached()
@@ -216,10 +271,86 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def _sweep_signature(
+    specs: List[ExperimentSpec], runner: Callable[..., object]
+) -> str:
+    """Content digest identifying a sweep for checkpoint compatibility.
+
+    Built from the runner's qualified name and every spec's ``repr`` (specs
+    are frozen dataclasses, so the repr is a faithful value rendering). A
+    checkpoint written under a different signature must not be resumed —
+    positional results would silently mismatch their specs.
+    """
+    parts = [getattr(runner, "__qualname__", repr(runner))]
+    parts.extend(repr(spec) for spec in specs)
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+#: First record of every checkpoint file.
+_CHECKPOINT_KIND = "repro-sweep-checkpoint-v1"
+
+
+def _load_checkpoint(path: Path, signature: str) -> Dict[int, object]:
+    """Read completed (index, result) records from a checkpoint file.
+
+    Returns an empty mapping when the file does not exist. Raises
+    :class:`ValueError` when the file is not a checkpoint or was written
+    for a different sweep. A truncated tail record (crash mid-append) is
+    silently dropped — that run simply re-executes.
+    """
+    completed: Dict[int, object] = {}
+    if not path.exists():
+        return completed
+    with open(path, "rb") as fh:
+        try:
+            header = pickle.load(fh)
+        except (EOFError, pickle.UnpicklingError):
+            raise ValueError(f"{path} is not a sweep checkpoint file") from None
+        if not isinstance(header, dict) or header.get("kind") != _CHECKPOINT_KIND:
+            raise ValueError(f"{path} is not a sweep checkpoint file")
+        if header.get("signature") != signature:
+            raise ValueError(
+                f"checkpoint {path} was written for a different sweep "
+                "(signature mismatch); delete it or pass a fresh path"
+            )
+        while True:
+            try:
+                index, result = pickle.load(fh)
+            except (EOFError, pickle.UnpicklingError, AttributeError):
+                break
+            completed[int(index)] = result
+    return completed
+
+
+class _CheckpointWriter:
+    """Appends completed runs to a checkpoint file, one pickle per run.
+
+    The header (kind + signature) is written when the file is created;
+    resumed sweeps append below the records already present. Every append
+    is flushed so a killed sweep loses at most the in-flight record.
+    """
+
+    def __init__(self, path: Path, signature: str) -> None:
+        self._path = path
+        self._signature = signature
+
+    def append(self, index: int, result: object) -> None:
+        is_new = not self._path.exists()
+        with open(self._path, "ab") as fh:
+            if is_new:
+                pickle.dump(
+                    {"kind": _CHECKPOINT_KIND, "signature": self._signature}, fh
+                )
+            pickle.dump((index, result), fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
 def run_sweep(
     specs: Iterable[ExperimentSpec],
     jobs: Optional[int] = None,
     runner: Callable[[ExperimentSpec], R] = run_spec,  # type: ignore[assignment]
+    checkpoint: Optional[Union[str, Path]] = None,
 ) -> List[Union[R, FailedRun]]:
     """Execute every spec; returns results in spec order.
 
@@ -235,23 +366,61 @@ def run_sweep(
     whole sweep. A broken worker *pool* (crashed process, missing
     semaphores) still falls back to full serial execution.
 
+    ``checkpoint`` names a resume file: every successfully completed run is
+    appended (with its position) as it is collected, and a later call with
+    the same specs, runner, and path skips the recorded runs and executes
+    only the remainder. The file is validated against a content signature of
+    the sweep — resuming with different specs raises instead of mixing
+    results. :class:`FailedRun` slots are never checkpointed, so failed runs
+    are retried on resume. Because results are value-identical at any job
+    count, a resumed sweep returns exactly what an uninterrupted one would.
+
     Identical seeds produce identical result values at any job count.
     """
     spec_list = list(specs)
     if not spec_list:
         return []
-    workers = min(resolve_jobs(jobs), len(spec_list))
-    if workers <= 1:
-        return _run_serial(spec_list, runner)
-    try:
-        return _run_parallel(spec_list, workers, runner)
-    except (OSError, PermissionError, ImportError, NotImplementedError,
-            BrokenProcessPool) as exc:
-        logger.warning(
-            "process pool unavailable (%s: %s); falling back to serial "
-            "execution", type(exc).__name__, exc,
-        )
-        return _run_serial(spec_list, runner)
+
+    restored: Dict[int, Union[R, FailedRun]] = {}
+    writer: Optional[_CheckpointWriter] = None
+    if checkpoint is not None:
+        path = Path(checkpoint)
+        signature = _sweep_signature(spec_list, runner)
+        restored = _load_checkpoint(path, signature)  # type: ignore[assignment]
+        if restored:
+            logger.info(
+                "checkpoint %s: %d/%d runs restored",
+                path, len(restored), len(spec_list),
+            )
+        writer = _CheckpointWriter(path, signature)
+
+    pending = [i for i in range(len(spec_list)) if i not in restored]
+    fresh: List[Union[R, FailedRun]] = []
+    if pending:
+        pending_specs = [spec_list[i] for i in pending]
+        collect: OnResult = None
+        if writer is not None:
+            collect = _make_collector(writer, pending)
+        workers = min(resolve_jobs(jobs), len(pending_specs))
+        if workers <= 1:
+            fresh = _run_serial(pending_specs, runner, collect)
+        else:
+            try:
+                fresh = _run_parallel(pending_specs, workers, runner, collect)
+            except (OSError, PermissionError, ImportError, NotImplementedError,
+                    BrokenProcessPool) as exc:
+                logger.warning(
+                    "process pool unavailable (%s: %s); falling back to serial "
+                    "execution", type(exc).__name__, exc,
+                )
+                fresh = _run_serial(pending_specs, runner, collect)
+
+    slots: List[Union[R, FailedRun]] = [None] * len(spec_list)  # type: ignore[list-item]
+    for index, result in restored.items():
+        slots[index] = result
+    for index, result in zip(pending, fresh):
+        slots[index] = result
+    return slots
 
 
 def _retry_serially(
@@ -276,9 +445,31 @@ def _retry_serially(
         )
 
 
+#: Per-run collection hook: ``(position within the spec list, result)``.
+#: Used by ``run_sweep`` to append completed runs to a checkpoint file.
+OnResult = Optional[Callable[[int, object], None]]
+
+
+def _make_collector(
+    writer: _CheckpointWriter, pending: List[int]
+) -> Callable[[int, object], None]:
+    """Checkpoint hook mapping pending-list positions back to sweep slots.
+
+    :class:`FailedRun` slots are never checkpointed — a resumed sweep
+    retries them instead of replaying the failure.
+    """
+
+    def collect(local: int, result: object) -> None:
+        if not isinstance(result, FailedRun):
+            writer.append(pending[local], result)
+
+    return collect
+
+
 def _run_serial(
     specs: List[ExperimentSpec],
     runner: Callable[[ExperimentSpec], R],
+    on_result: OnResult = None,
 ) -> List[Union[R, FailedRun]]:
     results: List[Union[R, FailedRun]] = []
     total = len(specs)
@@ -288,6 +479,8 @@ def _run_serial(
             results.append(runner(spec))
         except Exception as exc:
             results.append(_retry_serially(spec, runner, exc))
+        if on_result is not None:
+            on_result(index - 1, results[-1])
         logger.info(
             "sweep run %d/%d %r: %.2fs (serial)",
             index, total, spec.key, time.perf_counter() - start,
@@ -299,6 +492,7 @@ def _run_parallel(
     specs: List[ExperimentSpec],
     workers: int,
     runner: Callable[[ExperimentSpec], R],
+    on_result: OnResult = None,
 ) -> List[Union[R, FailedRun]]:
     total = len(specs)
     start = time.perf_counter()
@@ -314,6 +508,8 @@ def _run_parallel(
                 raise
             except Exception as exc:
                 results.append(_retry_serially(spec, runner, exc))
+            if on_result is not None:
+                on_result(index - 1, results[-1])
             logger.info(
                 "sweep run %d/%d %r: collected at +%.2fs",
                 index, total, spec.key, time.perf_counter() - start,

@@ -35,6 +35,7 @@ from repro.workload.trace import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observe.registry import Telemetry
+    from repro.strategies.base import CacheStrategy
 
 
 class TraceFeeder:
@@ -152,6 +153,7 @@ def run_experiment(
     overload: Optional[OverloadConfig] = None,
     elastic: Optional[ElasticConfig] = None,
     simulator: Optional[Simulator] = None,
+    strategy: Optional["CacheStrategy"] = None,
 ) -> ExperimentResult:
     """Run one trace-driven experiment.
 
@@ -217,7 +219,9 @@ def run_experiment(
     if simulator is None:
         simulator = Simulator()
     if cloud is None:
-        cloud = CacheCloud(config, corpus)
+        cloud = CacheCloud(config, corpus, strategy=strategy)
+    elif strategy is not None:
+        raise ValueError("pass strategy via the pre-built cloud, not both")
     if telemetry is not None:
         cloud.attach_telemetry(telemetry)
     if overload is not None and cloud.overload is None:

@@ -1,0 +1,295 @@
+"""Strategy-zoo sweep: every caching strategy, one workload, one ranking.
+
+The strategy plane (:mod:`repro.strategies`) makes admission, forwarding,
+and update propagation pluggable behind one seam; this sweep is the seam's
+payoff. Every known scheme — the paper's four placement policies plus the
+on-path ICN family (LCE / LCD / ProbCache) and the CUP-style interest-tree
+propagator — runs over the *same* trace on the *same* cloud shape, and the
+result is one ranking table over the service metrics the paper compares
+schemes on: cloud hit rate, client latency, origin offload, and network
+cost.
+
+Determinism: all arms share one :class:`WorkloadSpec` and one config seed
+(common random numbers — arms differ only by the strategy under study);
+ProbCache's coin flips come from its own derived stream, so the shared
+streams see zero extra draws. The sweep is value-identical at any
+``--jobs`` count and fingerprint-stable across runs (CI's zoo-smoke job).
+
+Scale: arms run *streamed* — the trace is generated lazily and never
+materialized — so the ``ZOO_SCALE`` preset (1000 caches, ten million
+requests per arm) is bounded by cloud state, not trace length. Long sweeps
+can pass ``checkpoint=`` to resume interrupted runs arm-by-arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
+from repro.experiments.parallel import (
+    ExperimentSpec,
+    FailedRun,
+    WorkloadSpec,
+    derive_seed,
+    run_sweep,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.report import Table, format_figure_header
+from repro.strategies.spec import KNOWN_SCHEMES, StrategySpec
+from repro.workload.generator import WorkloadConfig
+
+#: Schemes swept by default: the whole zoo, paper schemes first.
+DEFAULT_SCHEMES: Tuple[str, ...] = KNOWN_SCHEMES
+
+
+@dataclass(frozen=True)
+class ZooScale:
+    """Run-size knobs for the strategy zoo.
+
+    Unlike :class:`~repro.experiments.figures.FigureScale`, the cloud size
+    is a knob here — the zoo's headline preset runs a thousand caches.
+    ``disk_fraction`` sizes each cache's disk budget as a fraction of the
+    corpus bytes; a budget below 1.0 is what makes admission policies
+    differ at steady state (with infinite disk every scheme converges on
+    "everything is resident").
+    """
+
+    label: str
+    num_caches: int
+    num_rings: int
+    num_documents: int
+    request_rate_per_cache: float
+    update_rate: float
+    duration_minutes: float
+    cycle_length: float
+    disk_fraction: float = 0.05
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_caches <= 0 or self.num_documents <= 0:
+            raise ValueError("zoo scale sizes must be positive")
+        if not 0.0 < self.disk_fraction:
+            raise ValueError("disk_fraction must be positive")
+
+    @property
+    def requests_total(self) -> float:
+        """Offered requests per arm (rate x caches x duration)."""
+        return (
+            self.request_rate_per_cache * self.num_caches * self.duration_minutes
+        )
+
+
+#: Unit-test / CI-smoke scale: each arm in well under a second.
+ZOO_TINY = ZooScale(
+    label="tiny",
+    num_caches=8,
+    num_rings=2,
+    num_documents=200,
+    request_rate_per_cache=20.0,
+    update_rate=8.0,
+    duration_minutes=10.0,
+    cycle_length=2.5,
+    disk_fraction=0.10,
+)
+
+#: Laptop default: the full zoo in tens of seconds.
+ZOO_SMALL = ZooScale(
+    label="small",
+    num_caches=10,
+    num_rings=5,
+    num_documents=2_000,
+    request_rate_per_cache=80.0,
+    update_rate=60.0,
+    duration_minutes=60.0,
+    cycle_length=15.0,
+    disk_fraction=0.05,
+)
+
+#: The streaming showcase: 1000 caches x 200 req/min x 50 min = 10M
+#: requests per arm, fed out-of-core (the trace is never a list).
+ZOO_SCALE = ZooScale(
+    label="scale",
+    num_caches=1_000,
+    num_rings=10,
+    num_documents=100_000,
+    request_rate_per_cache=200.0,
+    update_rate=120.0,
+    duration_minutes=50.0,
+    cycle_length=10.0,
+    disk_fraction=0.01,
+)
+
+
+def _zoo_workload(scale: ZooScale) -> WorkloadSpec:
+    """The one Zipf workload recipe every arm shares (common random numbers)."""
+    return WorkloadSpec(
+        generator_config=WorkloadConfig(
+            num_documents=scale.num_documents,
+            num_caches=scale.num_caches,
+            request_rate_per_cache=scale.request_rate_per_cache,
+            update_rate=scale.update_rate,
+            duration_minutes=scale.duration_minutes,
+            seed=derive_seed(scale.seed, "zoo-trace"),
+        ),
+        corpus_documents=scale.num_documents,
+        corpus_seed=derive_seed(scale.seed, "zoo-corpus"),
+    )
+
+
+def _zoo_config(scale: ZooScale, capacity_bytes: int) -> CloudConfig:
+    """The one cloud shape every arm shares.
+
+    ``config.placement`` is the utility baseline, but it is inert here:
+    :func:`~repro.strategies.spec.build_strategy` re-derives the placement
+    from each arm's :class:`StrategySpec`, so the arm's strategy — not this
+    field — decides admission.
+    """
+    return CloudConfig(
+        num_caches=scale.num_caches,
+        num_rings=scale.num_rings,
+        intra_gen=1000,
+        cycle_length=scale.cycle_length,
+        assignment=AssignmentScheme.DYNAMIC,
+        placement=PlacementScheme.UTILITY,
+        capacity_bytes=capacity_bytes,
+        seed=scale.seed,
+    )
+
+
+@dataclass
+class ZooSweepResult:
+    """Ranked rows over the strategy zoo (rank 1 = best cloud hit rate)."""
+
+    scale_label: str = ""
+    requests_per_arm: int = 0
+    columns: Tuple[str, ...] = (
+        "rank",
+        "strategy",
+        "cloud hit (%)",
+        "local hit (%)",
+        "origin fetches",
+        "net MB/min",
+        "docs stored (%)",
+        "stores",
+        "rejects",
+    )
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    #: Sweep arms that failed both attempts (empty on healthy runs).
+    failures: List[FailedRun] = field(default_factory=list)
+
+    def ranking(self) -> List[str]:
+        """Strategy names, best first."""
+        return [str(row[1]) for row in self.rows]
+
+    def row(self, scheme: str) -> Tuple[Any, ...]:
+        """The row for one strategy."""
+        for row in self.rows:
+            if row[1] == scheme:
+                return row
+        raise KeyError(scheme)
+
+    def render(self) -> str:
+        table = Table(list(self.columns), precision=2)
+        for row in self.rows:
+            table.add_row(*row)
+        lines = [
+            format_figure_header(
+                "Zoo",
+                f"strategy ranking, {self.scale_label} scale "
+                f"({self.requests_per_arm:,} requests per arm)",
+            ),
+            table.render(),
+        ]
+        for failed in self.failures:
+            lines.append(
+                f"FAILED {failed.key}: {failed.error_type}: {failed.error}"
+            )
+        return "\n".join(lines)
+
+
+def _rank_key(outcome: ExperimentResult) -> Tuple[float, float, float]:
+    """Sort key: cloud hit rate down, then network cost up, then origin up.
+
+    Hit rate is the paper's headline service metric; network traffic and
+    origin offload break ties (the sweep path has no latency topology, so
+    client latency would be identically zero here).
+    """
+    return (
+        -outcome.stats.cloud_hit_rate,
+        outcome.network_mb_per_unit,
+        float(outcome.stats.origin_fetches),
+    )
+
+
+def zoo_sweep(
+    scale: ZooScale = ZOO_SMALL,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    jobs: Optional[int] = None,
+    seed: Optional[int] = None,
+    streaming: bool = True,
+    checkpoint: Optional[Union[str, Path]] = None,
+) -> ZooSweepResult:
+    """Run every strategy over the shared workload; one ranked row per arm.
+
+    ``seed`` overrides the scale's seed (re-deriving workload and cloud
+    randomness together). ``checkpoint`` names a resume file: completed
+    arms are recorded as they finish and skipped when the sweep is re-run
+    with the same arguments (see
+    :func:`~repro.experiments.parallel.run_sweep`).
+    """
+    if seed is not None:
+        scale = replace(scale, seed=seed)
+    for scheme in schemes:
+        if scheme not in KNOWN_SCHEMES:
+            raise ValueError(
+                f"unknown strategy {scheme!r}; known: {', '.join(KNOWN_SCHEMES)}"
+            )
+    workload = _zoo_workload(scale)
+    # The corpus depends only on its seed — build it once here to size the
+    # per-cache disk budget; workers rebuild the identical corpus.
+    corpus = workload.build_corpus()
+    capacity = max(1, int(corpus.total_bytes * scale.disk_fraction))
+    config = _zoo_config(scale, capacity)
+    specs = [
+        ExperimentSpec(
+            key=scheme,
+            config=config,
+            workload=workload,
+            duration=scale.duration_minutes,
+            warmup=min(2.0 * scale.cycle_length, scale.duration_minutes / 2.0),
+            strategy=StrategySpec(scheme=scheme),
+            streaming=streaming,
+        )
+        for scheme in schemes
+    ]
+
+    result = ZooSweepResult(
+        scale_label=scale.label, requests_per_arm=int(scale.requests_total)
+    )
+    ranked: List[Tuple[str, ExperimentResult]] = []
+    for spec, outcome in zip(
+        specs, run_sweep(specs, jobs=jobs, checkpoint=checkpoint)
+    ):
+        if isinstance(outcome, FailedRun):
+            result.failures.append(outcome)
+            continue
+        ranked.append((str(spec.key), outcome))
+    ranked.sort(key=lambda pair: _rank_key(pair[1]))
+    for rank, (scheme, outcome) in enumerate(ranked, start=1):
+        stats = outcome.stats
+        result.rows.append(
+            (
+                rank,
+                scheme,
+                100.0 * stats.cloud_hit_rate,
+                100.0 * stats.local_hit_rate,
+                stats.origin_fetches,
+                outcome.network_mb_per_unit,
+                outcome.docs_stored_percent,
+                stats.stores,
+                stats.placement_rejects,
+            )
+        )
+    return result

@@ -1,0 +1,179 @@
+"""CUP-style update propagation: push along an interest tree.
+
+Roussopoulos & Baker's CUP (arXiv:cs/0202008) propagates updates along the
+reverse paths of interest — each node that asked for a document relays
+fresh content to the nodes that asked *through* it — instead of having one
+authority contact every holder directly. Mapped onto the cache cloud: the
+beacon point remains the root (it receives the one server→beacon body the
+paper's protocol pays), but instead of the star fan-out it pushes to at
+most ``fanout`` holders, each of which relays onward to its own children
+in a deterministic k-ary tree over the sorted holder set.
+
+Trade-off surfaced by the zoo sweep: the tree bounds the beacon's per-
+update send fan-out at ``fanout`` (the star pays degree = holder count),
+at the cost of deeper propagation latency and a larger blast radius per
+lost edge — a failed or deferred push strands the entire subtree below it
+(every stranded holder stays stale until its next request repairs it,
+the same recovery contract as a lost star push).
+
+Request-path behaviour (admission, forwarding) is delegated to an inner
+placement policy, so the tree is an apples-to-apples replacement for the
+star under any admission rule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro.core.protocol import UpdateNotice, UpdatePush
+from repro.network.bandwidth import TrafficCategory
+from repro.strategies.paper import PolicyStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.placement import PlacementPolicy
+    from repro.core.roles import BeaconRole
+    from repro.observe.spans import Span
+
+
+class CUPTreeStrategy(PolicyStrategy):
+    """Beacon-rooted k-ary interest-tree push instead of star fan-out."""
+
+    def __init__(self, policy: "PlacementPolicy", fanout: int = 2) -> None:
+        super().__init__(policy)
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        self.fanout = fanout
+        self.name = f"cup_tree:{policy.name}"
+
+    def on_update(
+        self,
+        beacon_role: "BeaconRole",
+        doc_id: int,
+        version: int,
+        size: int,
+        now: float,
+    ) -> int:
+        cloud = beacon_role.cloud
+        fabric = cloud.fabric
+        beacon_id = beacon_role.beacon_id
+        irh = cloud.doc_irh(doc_id)
+        caches = cloud.caches
+        holders = [
+            h
+            for h in sorted(beacon_role.state.directory.holders(doc_id))
+            if caches[h].alive and caches[h].storage.get(doc_id) is not None
+        ]
+        carries_body = bool(holders)
+        if fabric.trace.enabled:
+            fabric.emit(
+                UpdateNotice(doc_id, version, beacon_id, carries_body, size)
+            )
+        cloud.origin.note_update_message(doc_id)
+        origin_id = cloud.origin.node_id
+        tel = cloud.telemetry
+        if not carries_body:
+            # Nobody holds the document: same bare invalidation notice as
+            # the star — there is no tree to build.
+            notice_span: Optional["Span"] = None
+            if tel is not None:
+                notice_span = tel.begin_span(
+                    "update_notice", now, beacon=beacon_id
+                )
+            notice = fabric.send_control(origin_id, beacon_id, reliable=True)
+            if tel is not None and notice_span is not None:
+                tel.end_span(notice_span, now + notice.latency, ok=notice.ok)
+            if notice.ok:
+                beacon_role.state.record_update(irh)
+            return 0
+        body_span: Optional["Span"] = None
+        if tel is not None:
+            body_span = tel.begin_span(
+                "server_to_beacon", now, beacon=beacon_id, bytes=size
+            )
+        body = fabric.send_document(
+            origin_id,
+            beacon_id,
+            size,
+            TrafficCategory.UPDATE_SERVER_TO_BEACON,
+            reliable=True,
+        )
+        if tel is not None and body_span is not None:
+            tel.end_span(
+                body_span, now + body.latency, ok=body.ok, attempts=body.attempts
+            )
+        if not body.ok:
+            # The root never got the body: the whole tree stays stale.
+            cloud.update_pushes_lost += len(holders)
+            return 0
+        beacon_role.state.record_update(irh)
+
+        # Deterministic k-ary tree: the beacon at index 0, holders in sorted
+        # order after it; node i relays to indices k*i+1 .. k*i+k. A node's
+        # push starts when its own copy arrived, so latency accrues per level.
+        order = [beacon_id] + [h for h in holders if h != beacon_id]
+        arrival: Dict[int, float] = {beacon_id: now + body.latency}
+        deferred: Set[int] = set()
+        overload = cloud.overload
+        k = self.fanout
+        for index, parent in enumerate(order):
+            parent_at = arrival.get(parent)
+            if parent_at is None:
+                continue  # stranded subtree: the parent never got the body
+            first_child = k * index + 1
+            for child_index in range(
+                first_child, min(first_child + k, len(order))
+            ):
+                child = order[child_index]
+                if overload is not None and overload.defer_fanout(child):
+                    # Same graceful-degradation contract as the star: a
+                    # saturated holder's push is deferred, and here the
+                    # subtree below it is stranded with it.
+                    if tel is not None:
+                        defer_span = tel.begin_span(
+                            "overload_defer", parent_at,
+                            kind="tree_push", node=child,
+                        )
+                        tel.end_span(defer_span, parent_at)
+                        tel.count("overload.deferred.fanout")
+                    deferred.add(child)
+                    continue
+                leg_span: Optional["Span"] = None
+                if tel is not None:
+                    leg_span = tel.begin_span(
+                        "tree_push", parent_at,
+                        parent=parent, holder=child, bytes=size,
+                    )
+                push = fabric.send_document(
+                    parent,
+                    child,
+                    size,
+                    TrafficCategory.UPDATE_FANOUT,
+                    reliable=True,
+                )
+                if tel is not None and leg_span is not None:
+                    tel.end_span(
+                        leg_span,
+                        parent_at + push.latency,
+                        ok=push.ok,
+                        attempts=push.attempts,
+                    )
+                if not push.ok:
+                    continue  # counted below with the rest of its subtree
+                if fabric.trace.enabled:
+                    fabric.emit(
+                        UpdatePush(parent, child, doc_id, version, size)
+                    )
+                arrival[child] = parent_at + push.latency
+        refreshed = 0
+        for holder in holders:
+            if holder in arrival:
+                caches[holder].apply_update(
+                    doc_id, version, now, size_bytes=size
+                )
+                refreshed += 1
+        # Every unreached holder is one stale copy awaiting request-time
+        # repair; deferral is an overload statistic, not a loss.
+        cloud.update_pushes_lost += sum(
+            1 for h in holders if h not in arrival and h not in deferred
+        )
+        return refreshed

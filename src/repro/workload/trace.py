@@ -127,3 +127,29 @@ def merge_streams(
     arbitrarily long traces can be replayed in O(1) memory.
     """
     return heapq.merge(requests, updates, key=_stream_key)
+
+
+class RequestStreamStats:
+    """Pass-through request iterator that tallies stream statistics.
+
+    The out-of-core run path never materializes the trace, but results
+    still report ``unique_request_docs``; wrapping the lazy request stream
+    in this counter preserves the metric at O(distinct documents) resident
+    state — bounded by the corpus, never by the request count.
+    """
+
+    def __init__(self, requests: Iterable[RequestRecord]) -> None:
+        self._requests = requests
+        self._doc_ids: set = set()
+        self.records = 0
+
+    def __iter__(self) -> Iterator[RequestRecord]:
+        for record in self._requests:
+            self._doc_ids.add(record.doc_id)
+            self.records += 1
+            yield record
+
+    @property
+    def unique_docs(self) -> int:
+        """Distinct documents seen so far."""
+        return len(self._doc_ids)

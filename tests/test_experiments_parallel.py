@@ -161,7 +161,7 @@ class TestRunSweep:
     def test_jobs_capped_by_spec_count(self, monkeypatch):
         seen = {}
 
-        def fake_parallel(specs, workers, runner):
+        def fake_parallel(specs, workers, runner, on_result=None):
             seen["workers"] = workers
             return [runner(spec) for spec in specs]
 
@@ -240,3 +240,114 @@ class TestSweepHardening:
         assert isinstance(results[1], FailedRun)
         assert results[1].error_type == "ValueError"
         assert results[2] == "c"
+
+
+_CHECKPOINT_CALLS: list = []
+
+
+def _recording_runner(spec):
+    """Module-level (picklable, stable qualname) runner that logs calls."""
+    _CHECKPOINT_CALLS.append(spec.key)
+    return spec.key
+
+
+_FAIL_BUDGET = {"remaining": 0}
+
+
+def _fail_while_budget(spec):
+    """Fails the 'b' spec while the budget lasts, then succeeds."""
+    if spec.key == "b" and _FAIL_BUDGET["remaining"] > 0:
+        _FAIL_BUDGET["remaining"] -= 1
+        raise RuntimeError("b is cursed for now")
+    return spec.key
+
+
+class TestSweepCheckpoint:
+    """Checkpoint/resume: long sweeps survive interruption arm-by-arm."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_call_log(self):
+        _CHECKPOINT_CALLS.clear()
+        _FAIL_BUDGET["remaining"] = 0
+        yield
+        _CHECKPOINT_CALLS.clear()
+        _FAIL_BUDGET["remaining"] = 0
+
+    def _specs(self):
+        return [zipf_spec(key=k) for k in ("a", "b", "c")]
+
+    def test_resume_skips_completed_runs(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        specs = self._specs()
+        first = run_sweep(specs, jobs=1, runner=_recording_runner,
+                          checkpoint=path)
+        assert first == ["a", "b", "c"]
+        assert _CHECKPOINT_CALLS == ["a", "b", "c"]
+
+        _CHECKPOINT_CALLS.clear()
+        again = run_sweep(specs, jobs=1, runner=_recording_runner,
+                          checkpoint=path)
+        assert again == first
+        assert _CHECKPOINT_CALLS == []  # everything restored, nothing re-run
+
+    def test_failed_runs_are_retried_on_resume(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        specs = self._specs()
+        # Two failures: the initial attempt and the automatic serial retry —
+        # so the first sweep really records a FailedRun for 'b'.
+        _FAIL_BUDGET["remaining"] = 2
+        first = run_sweep(specs, jobs=1, runner=_fail_while_budget,
+                          checkpoint=path)
+        assert first[0] == "a" and first[2] == "c"
+        assert isinstance(first[1], FailedRun)
+
+        resumed = run_sweep(specs, jobs=1, runner=_fail_while_budget,
+                            checkpoint=path)
+        assert resumed == ["a", "b", "c"]  # only 'b' re-ran, and it healed
+
+    def test_signature_mismatch_raises(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        run_sweep(self._specs(), jobs=1, runner=_recording_runner,
+                  checkpoint=path)
+        other = [zipf_spec(key="a", seed=99)]
+        with pytest.raises(ValueError, match="different sweep"):
+            run_sweep(other, jobs=1, runner=_recording_runner, checkpoint=path)
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "not-a-checkpoint.txt"
+        path.write_text("just some notes\n")
+        with pytest.raises(ValueError, match="not a sweep checkpoint"):
+            run_sweep(self._specs(), jobs=1, runner=_recording_runner,
+                      checkpoint=path)
+
+    def test_truncated_tail_record_is_reexecuted(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        specs = self._specs()
+        run_sweep(specs, jobs=1, runner=_recording_runner, checkpoint=path)
+        # Chop mid-record, as a crash during the final append would.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-4])
+
+        _CHECKPOINT_CALLS.clear()
+        resumed = run_sweep(specs, jobs=1, runner=_recording_runner,
+                            checkpoint=path)
+        assert resumed == ["a", "b", "c"]
+        assert _CHECKPOINT_CALLS == ["c"]  # only the torn record re-ran
+
+    def test_resumed_results_value_identical_to_uninterrupted(self, tmp_path):
+        """Real ExperimentResults round-trip the checkpoint byte-exactly."""
+        path = tmp_path / "sweep.ckpt"
+        specs = [zipf_spec(key=k, seed=s) for k, s in (("a", 1), ("b", 2))]
+        uninterrupted = run_sweep(specs, jobs=1)
+        checkpointed = run_sweep(specs, jobs=1, checkpoint=path)
+        restored = run_sweep(specs, jobs=1, checkpoint=path)
+        assert checkpointed == uninterrupted
+        assert restored == uninterrupted
+
+    def test_parallel_checkpoint_matches_serial(self, tmp_path):
+        serial = run_sweep(self._specs(), jobs=1, runner=_recording_runner,
+                           checkpoint=tmp_path / "serial.ckpt")
+        parallel_run = run_sweep(self._specs(), jobs=2,
+                                 runner=_recording_runner,
+                                 checkpoint=tmp_path / "parallel.ckpt")
+        assert serial == parallel_run
