@@ -14,6 +14,9 @@ Usage::
     python -m repro overload --scale tiny --multipliers 1 4 16
     python -m repro audit --seeds 1 2 --loss 0.15 0.3 --churn 0 0.1
     python -m repro compare old.json new.json --tolerance 0.1
+    python -m repro flight record --out flight.jsonl --duration 20 --report
+    python -m repro flight render flight.jsonl --html flight.html
+    python -m repro flight diff baseline.jsonl candidate.jsonl
 
 Every subcommand prints the same tables the benchmark harness produces, so
 the paper's figures can be regenerated without pytest.
@@ -23,7 +26,9 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.config import AssignmentScheme, CloudConfig, PlacementScheme
@@ -294,6 +299,61 @@ def build_parser() -> argparse.ArgumentParser:
     zoo.add_argument(
         "--fingerprint", action="store_true",
         help="print a SHA-256 fingerprint of the result (determinism checks)",
+    )
+    zoo.add_argument(
+        "--flight-dir",
+        help="stream one windowed flight artifact per arm to "
+        "<dir>/<scheme>.jsonl (compare arms with `repro flight diff`)",
+    )
+
+    flight = subparsers.add_parser(
+        "flight",
+        help="streaming flight recorder: record a windowed run, render "
+        "the throughput/cost dashboard, or diff two artifacts",
+    )
+    flight_actions = flight.add_subparsers(dest="flight_action", required=True)
+    rec = flight_actions.add_parser(
+        "record",
+        help="run a traced workload with the flight recorder attached and "
+        "stream the windowed JSONL artifact",
+    )
+    rec.add_argument("--out", required=True, help="flight artifact (JSONL) path")
+    rec.add_argument("--documents", type=int, default=300)
+    rec.add_argument("--caches", type=int, default=8)
+    rec.add_argument("--rings", type=int, default=4)
+    rec.add_argument("--request-rate", type=float, default=60.0,
+                     help="requests per minute per cache")
+    rec.add_argument("--update-rate", type=float, default=30.0,
+                     help="updates per minute")
+    rec.add_argument("--alpha", type=float, default=0.9, help="Zipf parameter")
+    rec.add_argument("--duration", type=float, default=20.0, help="minutes")
+    rec.add_argument("--cycle", type=float, default=10.0)
+    rec.add_argument("--seed", type=int, default=0)
+    rec.add_argument("--window", type=float, default=1.0,
+                     help="flight window width in simulated minutes")
+    rec.add_argument("--top-docs", type=int, default=5,
+                     help="hottest documents tracked per window")
+    rec.add_argument(
+        "--report", action="store_true",
+        help="render the dashboard after recording",
+    )
+    ren = flight_actions.add_parser(
+        "render", help="render a recorded artifact as a text dashboard"
+    )
+    ren.add_argument("artifact", help="flight artifact (JSONL)")
+    ren.add_argument("--html", help="also write an HTML report here")
+    ren.add_argument("--top", type=int, default=5,
+                     help="hottest documents shown")
+    fdiff = flight_actions.add_parser(
+        "diff",
+        help="compare two artifacts with thresholded verdicts "
+        "(exit 1 on any FAIL)",
+    )
+    fdiff.add_argument("baseline", help="baseline flight artifact")
+    fdiff.add_argument("candidate", help="candidate flight artifact")
+    fdiff.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="relative drift allowed per verdict (default 10%%)",
     )
 
     aud = subparsers.add_parser(
@@ -616,6 +676,7 @@ def _cmd_zoo(args) -> int:
         seed=args.seed,
         streaming=not args.materialize,
         checkpoint=args.checkpoint,
+        flight_dir=args.flight_dir,
     )
     print(result.render())
     if args.out:
@@ -624,6 +685,104 @@ def _cmd_zoo(args) -> int:
     if args.fingerprint:
         print(f"fingerprint: {fingerprint(result)}")
     return 1 if result.failures else 0
+
+
+def _cmd_flight_record(args) -> int:
+    import random
+
+    from repro.core.cloud import CacheCloud
+    from repro.network.origin import ORIGIN_NODE_ID, OriginServer
+    from repro.network.topology import EuclideanTopology
+    from repro.network.transport import Transport
+    from repro.observe.flight import (
+        FlightRecorder,
+        read_flight,
+        render_flight_report,
+    )
+
+    corpus = build_corpus(args.documents)
+    generator = SyntheticTraceGenerator(
+        WorkloadConfig(
+            num_documents=args.documents,
+            num_caches=args.caches,
+            request_rate_per_cache=args.request_rate,
+            update_rate=args.update_rate,
+            alpha_requests=args.alpha,
+            duration_minutes=args.duration,
+            seed=args.seed,
+        )
+    )
+    config = CloudConfig(
+        num_caches=args.caches,
+        num_rings=args.rings,
+        cycle_length=args.cycle,
+        seed=args.seed,
+    )
+    # Same latency shape as `observe`: clustered caches with a far-away
+    # origin, so the per-category latency columns carry real signal.
+    topology = EuclideanTopology.random(
+        args.caches,
+        random.Random(args.seed),
+        extent=100.0,
+        num_clusters=2,
+        cluster_spread=25.0,
+    )
+    topology.add_node(ORIGIN_NODE_ID, (2_000.0, 2_000.0))
+    cloud = CacheCloud(
+        config,
+        corpus,
+        origin=OriginServer(corpus),
+        transport=Transport(topology=topology),
+    )
+    recorder = FlightRecorder(
+        args.out, window=args.window, top_docs=args.top_docs
+    )
+    run_experiment(
+        config,
+        corpus,
+        generator.requests(),
+        generator.updates(),
+        duration=args.duration,
+        cloud=cloud,
+        flight=recorder,
+    )
+    log = read_flight(args.out)
+    print(
+        f"flight artifact -> {args.out} "
+        f"({len(log.windows)} windows, window={log.window_width:g} min)"
+    )
+    if args.report:
+        print()
+        print(render_flight_report(log, top_k=args.top_docs))
+    return 0
+
+
+def _cmd_flight(args) -> int:
+    from repro.observe.flight import (
+        diff_flights,
+        read_flight,
+        render_flight_html,
+        render_flight_report,
+    )
+
+    if args.flight_action == "record":
+        return _cmd_flight_record(args)
+    if args.flight_action == "render":
+        log = read_flight(args.artifact)
+        print(render_flight_report(log, top_k=args.top))
+        if args.html:
+            Path(args.html).write_text(
+                render_flight_html(log, top_k=args.top), encoding="utf-8"
+            )
+            print(f"\nhtml report -> {args.html}")
+        return 0
+    # diff
+    baseline = read_flight(args.baseline)
+    candidate = read_flight(args.candidate)
+    lines, ok = diff_flights(baseline, candidate, tolerance=args.tolerance)
+    for line in lines:
+        print(line)
+    return 0 if ok else 1
 
 
 def _cmd_audit(args) -> int:
@@ -679,6 +838,7 @@ _HANDLERS = {
     "overload": _cmd_overload,
     "elastic": _cmd_elastic,
     "zoo": _cmd_zoo,
+    "flight": _cmd_flight,
     "audit": _cmd_audit,
     "compare": _cmd_compare,
 }
@@ -687,7 +847,13 @@ _HANDLERS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # Downstream reader (head, less) closed the pipe; redirect stdout
+        # to devnull so the interpreter's exit-time flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -72,6 +72,8 @@ from repro.workload.documents import Corpus
 if TYPE_CHECKING:
     from repro.audit.antientropy import AntiEntropyConfig, AntiEntropyProcess
     from repro.core.elastic import ElasticConfig, ElasticController
+    from repro.observe.flight import FlightRecorder
+    from repro.observe.profile import WorkProfile
     from repro.observe.registry import Telemetry
 
 __all__ = ["CacheCloud", "RequestOutcome", "RequestResult"]
@@ -208,6 +210,16 @@ class CacheCloud:
         #: roles read this reference, never import the package.
         self.telemetry: Optional["Telemetry"] = None
 
+        #: Optional per-phase work profile (``repro.observe.profile``).
+        #: ``None`` keeps the role seams on a single attribute check, the
+        #: same contract as ``telemetry``.
+        self.profile: Optional["WorkProfile"] = None
+
+        #: Optional streaming flight recorder (``repro.observe.flight``).
+        #: ``None`` keeps the request/update entry points and the fabric
+        #: fast path exactly as they were before the recorder existed.
+        self.flight: Optional["FlightRecorder"] = None
+
         #: Optional per-node service model (``repro.core.overload``).
         #: ``None`` keeps the fabric fast path enabled and every protocol
         #: hot path on a single attribute check.
@@ -290,6 +302,56 @@ class CacheCloud:
         self.telemetry = None
         self.fabric.telemetry = None
         return telemetry
+
+    # ------------------------------------------------------------------
+    # Work profiling and the flight recorder (repro.observe)
+    # ------------------------------------------------------------------
+    def attach_profile(self, profile: "WorkProfile") -> "WorkProfile":
+        """Charge per-role, per-phase work counters into ``profile``.
+
+        Same contract as :meth:`attach_telemetry`: the role seams read
+        ``self.profile`` through one ``is not None`` check, charging draws
+        no randomness and dispatches nothing, so protocol behavior is
+        identical with and without a profile attached.
+        """
+        self.profile = profile
+        return profile
+
+    def detach_profile(self) -> Optional["WorkProfile"]:
+        """Stop charging; returns the detached profile with its counters."""
+        profile = self.profile
+        self.profile = None
+        return profile
+
+    def attach_flight(self, recorder: "FlightRecorder") -> "FlightRecorder":
+        """Stream windowed statistics from this cloud into ``recorder``.
+
+        Binds the recorder (which writes the artifact header), hooks the
+        fabric so every wire attempt lands in the open window, and — when
+        no profile is attached yet — installs the recorder's own
+        :class:`~repro.observe.profile.WorkProfile` so per-phase cost
+        deltas appear in the same windows. Call
+        :meth:`~repro.observe.flight.FlightRecorder.finish` after the run
+        to flush the final window and the summary record.
+        """
+        recorder.bind(self)
+        self.flight = recorder
+        self.fabric.flight = recorder
+        if self.profile is None:
+            self.profile = recorder.profile
+        return recorder
+
+    def detach_flight(self) -> Optional["FlightRecorder"]:
+        """Stop recording; returns the recorder (file stays open until
+        its ``finish`` is called)."""
+        recorder = self.flight
+        self.flight = None
+        self.fabric.flight = None
+        if recorder is not None:
+            recorder.unbind()
+            if self.profile is recorder.profile:
+                self.profile = None
+        return recorder
 
     @property
     def retries(self) -> int:
@@ -457,9 +519,18 @@ class CacheCloud:
     # ------------------------------------------------------------------
     def handle_request(self, cache_id: int, doc_id: int, now: float) -> RequestResult:
         """Process one client request arriving at ``cache_id``."""
+        flight = self.flight
+        if flight is not None:
+            # Roll the recorder's window clock before any protocol work:
+            # every dispatch this handler triggers happens at ``now``, so
+            # it belongs to the window that is open *after* this call.
+            flight.advance(now)
         telemetry = self.telemetry
         if telemetry is None:
-            return self._serve_request(cache_id, doc_id, now)
+            result = self._serve_request(cache_id, doc_id, now)
+            if flight is not None:
+                flight.observe_request(now, result)
+            return result
         root = telemetry.begin_span("request", now, cache=cache_id, doc=doc_id)
         try:
             result = self._serve_request(cache_id, doc_id, now)
@@ -480,6 +551,8 @@ class CacheCloud:
             # the cloud is overloaded. Rejections are visible through the
             # requests.rejected counter and the overload statistics.
             telemetry.observe_request(now, result.latency_ms)
+        if flight is not None:
+            flight.observe_request(now, result)
         return result
 
     def _serve_request(
@@ -572,6 +645,10 @@ class CacheCloud:
     # ------------------------------------------------------------------
     def handle_update(self, doc_id: int, now: float) -> int:
         """Process one origin-server update; returns holders refreshed."""
+        flight = self.flight
+        if flight is not None:
+            flight.advance(now)
+            flight.observe_update(now)
         telemetry = self.telemetry
         if telemetry is None:
             return self._apply_update(doc_id, now)

@@ -87,6 +87,7 @@ from repro.network.transport import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime import
+    from repro.observe.flight import FlightRecorder
     from repro.observe.registry import Telemetry
 
 #: Control traffic category, hoisted so the RPC fast path pays no enum
@@ -183,6 +184,7 @@ class MessageFabric:
         self._faults: Optional[FaultInjector] = None
         self._dispatch_log: Optional[List[DispatchRecord]] = None
         self._telemetry: Optional["Telemetry"] = None
+        self._flight: Optional["FlightRecorder"] = None
         self._service: Optional[OverloadController] = None
         #: True iff no middleware/observer is attached; see module docs.
         self._fast_path = True
@@ -193,6 +195,7 @@ class MessageFabric:
             self._faults is None
             and self._dispatch_log is None
             and self._telemetry is None
+            and self._flight is None
             and self._service is None
         )
 
@@ -291,6 +294,18 @@ class MessageFabric:
         self._telemetry = telemetry
         self._sync_fast_path()
 
+    @property
+    def flight(self) -> Optional["FlightRecorder"]:
+        """Optional streaming flight recorder; every wire attempt lands in
+        the currently open window. ``None`` keeps the fast path enabled
+        (the same zero-overhead-when-off seam as telemetry)."""
+        return self._flight
+
+    @flight.setter
+    def flight(self, recorder: Optional["FlightRecorder"]) -> None:
+        self._flight = recorder
+        self._sync_fast_path()
+
     # ------------------------------------------------------------------
     # Tracing
     # ------------------------------------------------------------------
@@ -365,6 +380,8 @@ class MessageFabric:
                 self.stats.rejections += 1
                 if self._telemetry is not None:
                     self._telemetry.count(f"fabric.rejected.{category.value}")
+                if self._flight is not None:
+                    self._flight.record_rejection(category.value)
                 latency = None
             else:
                 if delay > 0.0:
@@ -380,6 +397,8 @@ class MessageFabric:
                     )
         if self._telemetry is not None:
             self._telemetry.record_attempt(category.value, num_bytes, latency)
+        if self._flight is not None:
+            self._flight.record_attempt(category.value, num_bytes, latency)
         return latency
 
     def _bare(
@@ -398,6 +417,8 @@ class MessageFabric:
         latency = self.transport.send(src, dst, num_bytes, category)
         if self._telemetry is not None:
             self._telemetry.record_attempt(category.value, num_bytes, latency)
+        if self._flight is not None:
+            self._flight.record_attempt(category.value, num_bytes, latency)
         return latency
 
     # ------------------------------------------------------------------

@@ -153,6 +153,9 @@ class CacheNode:
             on_request_delivered=beacon_state.record_lookup,
             request=request,
         )
+        profile = cloud.profile
+        if profile is not None:
+            profile.charge("beacon_lookup", hops + 1)
         if tel is not None and lookup_span is not None:
             tel.end_span(
                 lookup_span,
@@ -214,6 +217,8 @@ class CacheNode:
                     TrafficCategory.PEER_TRANSFER,
                 ),
             )
+            if profile is not None:
+                profile.charge("peer_fetch", transfer.attempts)
             if tel is not None and fetch_span is not None:
                 tel.end_span(
                     fetch_span,
@@ -263,6 +268,8 @@ class CacheNode:
                     TrafficCategory.ORIGIN_FETCH,
                 ),
             )
+            if profile is not None:
+                profile.charge("origin_fetch")
             if tel is not None and fetch_span is not None:
                 tel.end_span(fetch_span, fetch_start + transfer_latency)
             served_by = cloud.origin.node_id
@@ -325,6 +332,9 @@ class CacheNode:
                 TrafficCategory.ORIGIN_FETCH,
             ),
         )
+        profile = cloud.profile
+        if profile is not None:
+            profile.charge("origin_fetch", leg_one.attempts)
         if tel is not None and leg_span is not None:
             tel.end_span(
                 leg_span,
@@ -370,6 +380,10 @@ class CacheNode:
                 TrafficCategory.PEER_TRANSFER,
             ),
         )
+        if profile is not None:
+            # Second leg of the same origin retrieval: charged to the
+            # origin-fetch phase, not peer_fetch — no peer served anything.
+            profile.charge("origin_fetch", leg_two.attempts)
         if tel is not None and forward_span is not None:
             tel.end_span(
                 forward_span,
@@ -444,6 +458,9 @@ class CacheNode:
                 TrafficCategory.ORIGIN_FETCH,
             ),
         )
+        profile = cloud.profile
+        if profile is not None:
+            profile.charge("origin_fetch")
         if tel is not None and fetch_span is not None:
             tel.end_span(fetch_span, fetch_start + transfer_latency)
         version = cloud.origin.version_of(doc_id)
@@ -496,6 +513,10 @@ class CacheNode:
                 TrafficCategory.ORIGIN_FETCH,
             ),
         )
+        profile = cloud.profile
+        if profile is not None:
+            # Request leg(s) plus the forced document leg of the direct fetch.
+            profile.charge("origin_fetch", request.attempts + 1)
         if tel is not None and fetch_span is not None:
             tel.end_span(fetch_span, now + request.latency + transfer_latency)
         cache.stats.origin_fetches += 1
@@ -600,6 +621,11 @@ class CacheNode:
         else:
             min_residence = None
         update_tracker = cloud._update_rates.get(doc_id)
+        profile = cloud.profile
+        if profile is not None:
+            # One store decision, whose work scales with the live holders
+            # whose residence the DAI component examined.
+            profile.charge("placement", 1 + len(live))
         return PlacementContext(
             cache_id=cache.cache_id,
             doc_id=doc_id,

@@ -70,6 +70,13 @@ class BeaconRole:
         caches = cloud.caches
         candidates = self.state.directory.holders(doc_id)
         candidates.discard(requester)
+        profile = cloud.profile
+        if profile is not None:
+            # The walk below visits every candidate exactly once: this is
+            # the O(holders) verification cost the ROADMAP holder-walk item
+            # describes, charged before the loop so the recorded length is
+            # independent of how many entries the loop then repairs.
+            profile.record_walk(doc_id, len(candidates))
         live: List[int] = []
         for holder in sorted(candidates):
             holder_cache = caches[holder]
@@ -213,6 +220,9 @@ class BeaconRole:
                     TrafficCategory.UPDATE_FANOUT,
                     reliable=True,
                 )
+                profile = cloud.profile
+                if profile is not None:
+                    profile.charge("fanout_leg", push.attempts)
                 if tel is not None and leg_span is not None:
                     tel.end_span(
                         leg_span,

@@ -54,6 +54,7 @@ from repro.core.overload import OverloadConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.faults.churn import ChurnSpec
 from repro.faults.plan import FaultPlan
+from repro.observe.flight import FlightSpec
 from repro.strategies.spec import StrategySpec, build_strategy
 from repro.workload.documents import Corpus, build_corpus, seed_corpus_rng
 from repro.workload.generator import SyntheticTraceGenerator, WorkloadConfig
@@ -174,6 +175,11 @@ class ExperimentSpec:
     #: the trace list. Value-identical records; peak resident trace state
     #: drops from O(requests) to O(generator window).
     streaming: bool = False
+    #: Optional flight-recorder recipe (:mod:`repro.observe.flight`); the
+    #: worker builds the recorder and streams the windowed artifact to
+    #: ``flight.path``. Same-seed runs produce byte-identical artifacts
+    #: regardless of ``--jobs`` or ``streaming``.
+    flight: Optional[FlightSpec] = None
 
 
 @dataclass
@@ -208,6 +214,7 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         if spec.strategy is not None
         else None
     )
+    flight = spec.flight.build() if spec.flight is not None else None
     if spec.streaming:
         # Out-of-core path: the trace is never held as a list. The counting
         # wrapper preserves ``unique_request_docs`` at O(corpus) state.
@@ -227,6 +234,7 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
             overload=spec.overload,
             elastic=spec.elastic,
             strategy=strategy,
+            flight=flight,
         )
         result.unique_request_docs = counter.unique_docs
         return result.detached()
@@ -245,6 +253,7 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         overload=spec.overload,
         elastic=spec.elastic,
         strategy=strategy,
+        flight=flight,
     )
     result.unique_request_docs = len(trace.request_counts_by_doc())
     return result.detached()

@@ -34,6 +34,7 @@ from repro.workload.trace import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.flight import FlightRecorder
     from repro.observe.registry import Telemetry
     from repro.strategies.base import CacheStrategy
 
@@ -154,6 +155,7 @@ def run_experiment(
     elastic: Optional[ElasticConfig] = None,
     simulator: Optional[Simulator] = None,
     strategy: Optional["CacheStrategy"] = None,
+    flight: Optional["FlightRecorder"] = None,
 ) -> ExperimentResult:
     """Run one trace-driven experiment.
 
@@ -208,6 +210,11 @@ def run_experiment(
         Pre-built simulator (for callers that schedule their own periodic
         observers, e.g. a :class:`~repro.metrics.collector.CloudMonitor`);
         created internally when omitted.
+    flight:
+        Optional :class:`~repro.observe.flight.FlightRecorder`, attached
+        after the overload controller (so queue-depth deltas baseline
+        correctly) and finished — final window flushed, summary appended,
+        artifact closed — when the run completes. Off-path like telemetry.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
@@ -228,6 +235,8 @@ def run_experiment(
         cloud.attach_overload(overload)
     if elastic is not None and cloud.elastic is None:
         cloud.attach_elastic(elastic, simulator)
+    if flight is not None:
+        cloud.attach_flight(flight)
     if fault_plan is not None:
         cloud.attach_faults(
             FaultInjector(
@@ -272,6 +281,8 @@ def run_experiment(
         schedule.finalize(duration)
     if cloud.elastic is not None:
         cloud.elastic.finalize(duration)
+    if flight is not None:
+        flight.finish(duration)
 
     span = duration - warmup
     beacon_loads = {

@@ -37,6 +37,7 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.runner import ExperimentResult
 from repro.metrics.report import Table, format_figure_header
+from repro.observe.flight import FlightSpec
 from repro.strategies.spec import KNOWN_SCHEMES, StrategySpec
 from repro.workload.generator import WorkloadConfig
 
@@ -230,6 +231,7 @@ def zoo_sweep(
     seed: Optional[int] = None,
     streaming: bool = True,
     checkpoint: Optional[Union[str, Path]] = None,
+    flight_dir: Optional[Union[str, Path]] = None,
 ) -> ZooSweepResult:
     """Run every strategy over the shared workload; one ranked row per arm.
 
@@ -237,7 +239,10 @@ def zoo_sweep(
     randomness together). ``checkpoint`` names a resume file: completed
     arms are recorded as they finish and skipped when the sweep is re-run
     with the same arguments (see
-    :func:`~repro.experiments.parallel.run_sweep`).
+    :func:`~repro.experiments.parallel.run_sweep`). ``flight_dir`` turns
+    on the flight recorder per arm: each scheme streams a windowed JSONL
+    artifact to ``<flight_dir>/<scheme>.jsonl`` (window = one cycle
+    length), comparable across arms with ``repro flight diff``.
     """
     if seed is not None:
         scale = replace(scale, seed=seed)
@@ -252,6 +257,18 @@ def zoo_sweep(
     corpus = workload.build_corpus()
     capacity = max(1, int(corpus.total_bytes * scale.disk_fraction))
     config = _zoo_config(scale, capacity)
+    if flight_dir is not None:
+        flight_base = Path(flight_dir)
+        flight_base.mkdir(parents=True, exist_ok=True)
+
+    def _flight(scheme: str) -> Optional[FlightSpec]:
+        if flight_dir is None:
+            return None
+        return FlightSpec(
+            path=str(flight_base / f"{scheme}.jsonl"),
+            window=scale.cycle_length,
+        )
+
     specs = [
         ExperimentSpec(
             key=scheme,
@@ -261,6 +278,7 @@ def zoo_sweep(
             warmup=min(2.0 * scale.cycle_length, scale.duration_minutes / 2.0),
             strategy=StrategySpec(scheme=scheme),
             streaming=streaming,
+            flight=_flight(scheme),
         )
         for scheme in schemes
     ]

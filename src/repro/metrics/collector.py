@@ -44,6 +44,11 @@ When an elastic controller (``repro.core.elastic``) is attached, four more
 series track the autoscaler: ``cloud_size`` (gauge: live caches),
 ``scale_out_events`` / ``scale_in_events`` (windowed membership changes),
 and ``drain_bytes`` (windowed scale-in handoff traffic).
+
+When a work profile (``repro.observe.profile``) is attached, two windowed
+series track the ROADMAP holder-walk item: ``holder_walk_mean`` (mean
+holders verified per answered lookup) and ``holder_verify_units`` (total
+holder-verification work in the window).
 """
 
 from __future__ import annotations
@@ -93,6 +98,15 @@ _OVERLOAD_METRICS = (
     "shed_rate",
 )
 
+#: Extra series sampled only when a work profile
+#: (``repro.observe.profile``) is attached: the time-resolved view of the
+#: ROADMAP holder-walk item — mean holders verified per answered lookup,
+#: and total holder-verification work performed in the window.
+_PROFILE_METRICS = (
+    "holder_walk_mean",
+    "holder_verify_units",
+)
+
 #: Extra series sampled only when an elastic controller is attached:
 #: ``cloud_size`` (gauge: live caches), windowed scale event counts, and
 #: windowed drain traffic — the time-resolved view of the autoscaler.
@@ -128,6 +142,9 @@ class CloudMonitor:
         self._track_elastic = getattr(cloud, "elastic", None) is not None
         if self._track_elastic:
             names.extend(_ELASTIC_METRICS)
+        self._track_profile = getattr(cloud, "profile", None) is not None
+        if self._track_profile:
+            names.extend(_PROFILE_METRICS)
         self.series: Dict[str, TimeSeries] = {
             name: TimeSeries(name) for name in names
         }
@@ -138,6 +155,7 @@ class CloudMonitor:
         self._last_ae_repairs = 0.0
         self._last_overload: Dict[str, float] = {}
         self._last_elastic: Dict[str, float] = {}
+        self._last_profile: Dict[str, float] = {}
         self._window_start = 0.0
         self._simulator = simulator
         self._process = PeriodicProcess(
@@ -177,6 +195,8 @@ class CloudMonitor:
             self._last_overload = self._overload_snapshot()
         if self._track_elastic:
             self._last_elastic = self._elastic_snapshot()
+        if self._track_profile:
+            self._last_profile = self._profile_snapshot()
         if self._track_latency:
             self._window_start = self._simulator.now
 
@@ -197,6 +217,13 @@ class CloudMonitor:
             "requests_admitted": float(stats.requests_admitted),
             "requests_rejected": float(stats.requests_rejected),
             "shed_total": float(stats.shed_total),
+        }
+
+    def _profile_snapshot(self) -> Dict[str, float]:
+        profile = self.cloud.profile
+        return {
+            "verify_walks": float(profile.counts["holder_verify"]),
+            "verify_units": float(profile.units["holder_verify"]),
         }
 
     def _elastic_snapshot(self) -> Dict[str, float]:
@@ -296,6 +323,17 @@ class CloudMonitor:
                     now, snapshot[name] - last.get(name, 0.0)
                 )
             self._last_elastic = snapshot
+
+        if self._track_profile:
+            snapshot = self._profile_snapshot()
+            last = self._last_profile
+            walks = snapshot["verify_walks"] - last.get("verify_walks", 0.0)
+            units = snapshot["verify_units"] - last.get("verify_units", 0.0)
+            self.series["holder_walk_mean"].append(
+                now, units / walks if walks else 0.0
+            )
+            self.series["holder_verify_units"].append(now, units)
+            self._last_profile = snapshot
 
         if self._track_latency:
             latencies = self.cloud.telemetry.request_latencies

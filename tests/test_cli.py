@@ -241,3 +241,67 @@ class TestRunTelemetryFlag:
         for key in data["histograms"]:
             if key.startswith("latency_ms."):
                 assert data["histograms"][key]["p99"] is not None
+
+
+class TestFlightCommand:
+    _RECORD = [
+        "flight", "record",
+        "--documents", "150",
+        "--caches", "4",
+        "--rings", "2",
+        "--duration", "8",
+        "--cycle", "4",
+        "--window", "2",
+        "--seed", "5",
+    ]
+
+    def test_record_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flight", "record"])
+
+    def test_record_render_and_self_diff(self, tmp_path, capsys):
+        artifact = tmp_path / "flight.jsonl"
+        assert main(self._RECORD + ["--out", str(artifact), "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "flight artifact ->" in out
+        assert "per-phase cost stack" in out
+
+        html_file = tmp_path / "flight.html"
+        assert main(
+            ["flight", "render", str(artifact), "--html", str(html_file)]
+        ) == 0
+        assert "outcome mix" in capsys.readouterr().out
+        assert html_file.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+        assert main(["flight", "diff", str(artifact), str(artifact)]) == 0
+        diff_out = capsys.readouterr().out
+        assert "OK" in diff_out and "FAIL" not in diff_out
+
+    def test_diff_flags_perturbed_artifact(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "flight.jsonl"
+        assert main(self._RECORD + ["--out", str(artifact)]) == 0
+        capsys.readouterr()
+        perturbed = tmp_path / "perturbed.jsonl"
+        lines = []
+        for line in artifact.read_text(encoding="utf-8").splitlines():
+            record = json.loads(line)
+            if record.get("type") == "window" and record.get("index") == 1:
+                record["requests"] = int(record["requests"]) * 4
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        perturbed.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["flight", "diff", str(artifact), str(perturbed)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_same_seed_artifacts_are_bit_identical(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(self._RECORD + ["--out", str(a)]) == 0
+        assert main(self._RECORD + ["--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_zoo_flight_dir_parses(self):
+        args = build_parser().parse_args(
+            ["zoo", "--scale", "tiny", "--flight-dir", "arms"]
+        )
+        assert args.flight_dir == "arms"
